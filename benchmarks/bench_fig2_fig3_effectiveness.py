@@ -1,0 +1,65 @@
+"""Fig. 2 / Fig. 3 benchmarks — effectiveness of the selected groups.
+
+``pytest-benchmark`` measures the selection time of each method while the
+assertions check the effectiveness ordering the figures report: the greedy
+families reach (nearly) the exact-greedy CFCC while the Degree and Top-CFCC
+heuristics trail.  Fig. 2 corresponds to the sparse (small) graph with the
+exact baseline available; Fig. 3 to the dense graph where CFCC of the result
+is estimated with the sparse-solver route.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.centrality.cfcc import group_cfcc, group_cfcc_estimate
+from repro.centrality.exact_greedy import ExactGreedy
+from repro.centrality.forest_cfcm import ForestCFCM
+from repro.centrality.heuristics import degree_group, top_cfcc_group
+from repro.centrality.schur_cfcm import SchurCFCM
+
+K = 8
+
+
+@pytest.mark.benchmark(group="fig2-small-graph")
+class TestSmallGraphEffectiveness:
+    def test_exact_reference(self, benchmark, sparse_graph):
+        result = benchmark(lambda: ExactGreedy(sparse_graph).run(K))
+        assert len(result.group) == K
+
+    def test_schur_matches_exact(self, benchmark, sparse_graph, bench_config):
+        exact_value = group_cfcc(sparse_graph, ExactGreedy(sparse_graph).run(K).group)
+        result = benchmark(lambda: SchurCFCM(sparse_graph, seed=1,
+                                             config=bench_config).run(K))
+        assert group_cfcc(sparse_graph, result.group) >= 0.85 * exact_value
+
+    def test_forest_matches_exact(self, benchmark, sparse_graph, bench_config):
+        exact_value = group_cfcc(sparse_graph, ExactGreedy(sparse_graph).run(K).group)
+        result = benchmark(lambda: ForestCFCM(sparse_graph, seed=1,
+                                              config=bench_config).run(K))
+        assert group_cfcc(sparse_graph, result.group) >= 0.8 * exact_value
+
+    def test_degree_heuristic_trails(self, benchmark, sparse_graph):
+        exact_value = group_cfcc(sparse_graph, ExactGreedy(sparse_graph).run(K).group)
+        result = benchmark(lambda: degree_group(sparse_graph, K))
+        assert group_cfcc(sparse_graph, result.group) <= exact_value + 1e-9
+
+    def test_top_cfcc_heuristic(self, benchmark, sparse_graph):
+        result = benchmark(lambda: top_cfcc_group(sparse_graph, K))
+        assert len(result.group) == K
+
+
+@pytest.mark.benchmark(group="fig3-dense-graph")
+class TestDenseGraphEffectiveness:
+    def test_schur_beats_degree(self, benchmark, dense_graph, bench_config):
+        result = benchmark(lambda: SchurCFCM(dense_graph, seed=2,
+                                             config=bench_config).run(K))
+        schur_value = group_cfcc_estimate(dense_graph, result.group, probes=32, seed=0)
+        degree_value = group_cfcc_estimate(dense_graph, degree_group(dense_graph, K).group,
+                                           probes=32, seed=0)
+        assert schur_value >= 0.9 * degree_value
+
+    def test_forest_runs_on_dense_graph(self, benchmark, dense_graph, bench_config):
+        result = benchmark(lambda: ForestCFCM(dense_graph, seed=2,
+                                              config=bench_config).run(K))
+        assert len(result.group) == K

@@ -1,0 +1,66 @@
+"""Table II benchmarks — running time of every CFCM algorithm.
+
+Each benchmark measures one (algorithm, graph-family) cell of Table II with
+k = 5.  The qualitative shape to look for in the report:
+
+* ``exact`` is the slowest family on every graph and scales worst with n;
+* ``approx`` (Laplacian-solver baseline) slows down on the *dense* graph much
+  more than the sampling methods do;
+* ``schur`` is at or below ``forest`` on every graph.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.centrality.approx_greedy import ApproxGreedy
+from repro.centrality.exact_greedy import ExactGreedy
+from repro.centrality.forest_cfcm import ForestCFCM
+from repro.centrality.schur_cfcm import SchurCFCM
+
+K = 5
+
+
+@pytest.mark.benchmark(group="table2-sparse")
+class TestSparseGraph:
+    def test_exact(self, benchmark, sparse_graph):
+        benchmark(lambda: ExactGreedy(sparse_graph).run(K))
+
+    def test_approx(self, benchmark, sparse_graph):
+        benchmark(lambda: ApproxGreedy(sparse_graph, eps=0.2, seed=0).run(K))
+
+    def test_forest(self, benchmark, sparse_graph, bench_config):
+        benchmark(lambda: ForestCFCM(sparse_graph, seed=0, config=bench_config).run(K))
+
+    def test_schur(self, benchmark, sparse_graph, bench_config):
+        benchmark(lambda: SchurCFCM(sparse_graph, seed=0, config=bench_config).run(K))
+
+
+@pytest.mark.benchmark(group="table2-dense")
+class TestDenseGraph:
+    def test_exact(self, benchmark, dense_graph):
+        benchmark(lambda: ExactGreedy(dense_graph).run(K))
+
+    def test_approx(self, benchmark, dense_graph):
+        benchmark(lambda: ApproxGreedy(dense_graph, eps=0.2, seed=0).run(K))
+
+    def test_forest(self, benchmark, dense_graph, bench_config):
+        benchmark(lambda: ForestCFCM(dense_graph, seed=0, config=bench_config).run(K))
+
+    def test_schur(self, benchmark, dense_graph, bench_config):
+        benchmark(lambda: SchurCFCM(dense_graph, seed=0, config=bench_config).run(K))
+
+
+@pytest.mark.benchmark(group="table2-smallworld")
+class TestSmallWorldGraph:
+    def test_exact(self, benchmark, smallworld_graph):
+        benchmark(lambda: ExactGreedy(smallworld_graph).run(K))
+
+    def test_approx(self, benchmark, smallworld_graph):
+        benchmark(lambda: ApproxGreedy(smallworld_graph, eps=0.2, seed=0).run(K))
+
+    def test_forest(self, benchmark, smallworld_graph, bench_config):
+        benchmark(lambda: ForestCFCM(smallworld_graph, seed=0, config=bench_config).run(K))
+
+    def test_schur(self, benchmark, smallworld_graph, bench_config):
+        benchmark(lambda: SchurCFCM(smallworld_graph, seed=0, config=bench_config).run(K))

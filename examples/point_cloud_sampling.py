@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Representative subset selection for a 3-D point cloud.
+
+Third motivating application from the paper's introduction: point-cloud
+sampling selects a small subset of points that preserves the geometry for
+downstream reconstruction.  Building a k-nearest-neighbour graph over the
+points and maximising the current-flow closeness of the selected subset
+favours points that are electrically close to everything else — i.e. spread
+over the whole shape rather than clustered.
+
+The script samples a noisy torus, selects representatives with SchurCFCM and
+with naive baselines, and scores each subset by the mean distance from every
+point to its nearest representative (lower = better coverage).
+
+Run with::
+
+    python examples/point_cloud_sampling.py [--points 400] [--samples 12]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+import repro
+from repro.graph.builders import from_edge_list
+from repro.graph.traversal import is_connected, largest_connected_component
+
+
+def torus_cloud(count: int, rng: np.random.Generator) -> np.ndarray:
+    """Sample a noisy torus with major radius 1 and minor radius 0.35."""
+    theta = rng.uniform(0, 2 * np.pi, count)
+    phi = rng.uniform(0, 2 * np.pi, count)
+    r_major, r_minor = 1.0, 0.35
+    x = (r_major + r_minor * np.cos(phi)) * np.cos(theta)
+    y = (r_major + r_minor * np.cos(phi)) * np.sin(theta)
+    z = r_minor * np.sin(phi)
+    points = np.stack([x, y, z], axis=1)
+    return points + rng.normal(scale=0.01, size=points.shape)
+
+
+def knn_graph(points: np.ndarray, k: int):
+    """Symmetric k-nearest-neighbour graph over the points."""
+    diff = points[:, None, :] - points[None, :, :]
+    distances = np.sqrt(np.sum(diff * diff, axis=2))
+    np.fill_diagonal(distances, np.inf)
+    edges = set()
+    for i in range(points.shape[0]):
+        for j in np.argsort(distances[i])[:k]:
+            edges.add((min(i, int(j)), max(i, int(j))))
+    graph = from_edge_list(sorted(edges), n=points.shape[0])
+    if not is_connected(graph):
+        graph, keep = largest_connected_component(graph)
+        return graph, keep
+    return graph, np.arange(points.shape[0])
+
+
+def coverage_error(points: np.ndarray, representatives) -> float:
+    """Mean distance from each point to its nearest representative."""
+    reps = points[list(representatives)]
+    diff = points[:, None, :] - reps[None, :, :]
+    distances = np.sqrt(np.sum(diff * diff, axis=2))
+    return float(distances.min(axis=1).mean())
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--points", type=int, default=400, help="cloud size")
+    parser.add_argument("--samples", type=int, default=12,
+                        help="number of representative points k")
+    parser.add_argument("--neighbours", type=int, default=6, help="k-NN connectivity")
+    parser.add_argument("--seed", type=int, default=5, help="random seed")
+    args = parser.parse_args()
+
+    rng = np.random.default_rng(args.seed)
+    points = torus_cloud(args.points, rng)
+    graph, keep = knn_graph(points, args.neighbours)
+    points = points[keep]
+    print(f"Point cloud: {points.shape[0]} points, k-NN graph with {graph.m} edges")
+    print(f"Selecting {args.samples} representatives\n")
+
+    selections = {
+        "SchurCFCM": repro.maximize_cfcc(graph, args.samples, method="schur",
+                                         eps=0.25, seed=args.seed).group,
+        "Degree": repro.degree_group(graph, args.samples).group,
+        "Random": sorted(int(v) for v in rng.choice(graph.n, size=args.samples,
+                                                    replace=False)),
+    }
+
+    print(f"{'strategy':<12} {'group CFCC':>11} {'coverage error':>15}")
+    for label, group in selections.items():
+        value = repro.group_cfcc(graph, group)
+        error = coverage_error(points, group)
+        print(f"{label:<12} {value:>11.4f} {error:>15.4f}")
+    print("\nThe CFCM selection should achieve the lowest coverage error: high")
+    print("group closeness forces the representatives to spread over the torus.")
+
+
+if __name__ == "__main__":
+    main()

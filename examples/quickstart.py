@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Quickstart: maximise current-flow group closeness on a synthetic network.
+
+Builds a scale-free graph, selects a group of k nodes with each algorithm
+and compares the resulting group CFCC and running time.
+
+Run with::
+
+    python examples/quickstart.py [--nodes 400] [--k 5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import repro
+from repro.graph import generators
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=400, help="graph size")
+    parser.add_argument("--k", type=int, default=5, help="group size")
+    parser.add_argument("--eps", type=float, default=0.25, help="error parameter")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    args = parser.parse_args()
+
+    graph = generators.barabasi_albert(args.nodes, 3, seed=args.seed)
+    print(f"Graph: {graph.n} nodes, {graph.m} edges")
+    print(f"Selecting k = {args.k} nodes to maximise group CFCC\n")
+
+    config = repro.SamplingConfig(eps=args.eps, max_samples=128)
+    methods = ["exact", "approx", "forest", "schur", "degree", "top-cfcc"]
+    print(f"{'method':<10} {'CFCC':>10} {'seconds':>9}  group")
+    for method in methods:
+        start = time.perf_counter()
+        result = repro.maximize_cfcc(
+            graph, args.k, method=method, eps=args.eps, seed=args.seed,
+            config=config if method in ("forest", "schur") else None,
+        )
+        elapsed = time.perf_counter() - start
+        value = repro.group_cfcc(graph, result.group)
+        print(f"{method:<10} {value:>10.4f} {elapsed:>9.3f}  {result.group}")
+
+    print("\nThe greedy methods (exact / approx / forest / schur) should agree")
+    print("closely on CFCC, with the heuristics (degree / top-cfcc) trailing.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Sensor placement in a wireless mesh / geometric network.
+
+One of the motivating applications of the paper: choose k sensor locations
+in a wireless network so that every other node is electrically "close" to
+some sensor — equivalently, maximise the current-flow closeness of the
+sensor group.  The script compares CFCM-selected placements against naive
+strategies on a random geometric graph (the standard model for wireless
+deployments) and reports, for each placement, the group CFCC and the average
+resistance distance from non-sensor nodes to the sensor set.
+
+Run with::
+
+    python examples/sensor_placement.py [--nodes 300] [--sensors 6]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+import repro
+from repro.graph import generators
+
+
+def average_resistance_to_sensors(graph, sensors) -> float:
+    """Mean effective resistance from every node to the grounded sensor set."""
+    total = repro.total_group_resistance(graph, sensors)
+    return total / graph.n
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=300, help="network size")
+    parser.add_argument("--sensors", type=int, default=6, help="number of sensors k")
+    parser.add_argument("--radius", type=float, default=0.12, help="radio range")
+    parser.add_argument("--seed", type=int, default=7, help="random seed")
+    args = parser.parse_args()
+
+    graph = generators.random_geometric(args.nodes, args.radius, seed=args.seed)
+    print(f"Wireless mesh: {graph.n} reachable nodes, {graph.m} links")
+    print(f"Placing k = {args.sensors} sensors\n")
+
+    rng = np.random.default_rng(args.seed)
+    placements = {}
+
+    schur = repro.maximize_cfcc(graph, args.sensors, method="schur", eps=0.25,
+                                seed=args.seed)
+    placements["SchurCFCM"] = schur.group
+    placements["Degree heuristic"] = repro.degree_group(graph, args.sensors).group
+    placements["Top single-node CFCC"] = repro.top_cfcc_group(graph, args.sensors).group
+    placements["Random placement"] = sorted(
+        int(v) for v in rng.choice(graph.n, size=args.sensors, replace=False)
+    )
+
+    print(f"{'placement':<22} {'group CFCC':>11} {'avg resistance':>15}")
+    for label, sensors in placements.items():
+        value = repro.group_cfcc(graph, sensors)
+        avg_resistance = average_resistance_to_sensors(graph, sensors)
+        print(f"{label:<22} {value:>11.4f} {avg_resistance:>15.4f}")
+    print("\nHigher CFCC = lower total resistance = every node is electrically")
+    print("close to a sensor; the CFCM placement should dominate the baselines.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Collect the measurements recorded in EXPERIMENTS.md.
+
+Runs every experiment of the harness at the default ("small") scale with
+budgets sized for a single-core laptop, writing plain-text reports and JSON
+dumps into ``results/``.  This is the script used to produce the numbers in
+EXPERIMENTS.md; re-running it regenerates them.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import sys
+import time
+from contextlib import redirect_stdout
+from pathlib import Path
+
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.table2 import run_table2
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def capture(name: str, func, **kwargs):
+    """Run one experiment, teeing its report to results/<name>.txt and .json."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    buffer = io.StringIO()
+    start = time.perf_counter()
+    with redirect_stdout(buffer):
+        payload = func(**kwargs)
+    elapsed = time.perf_counter() - start
+    text = buffer.getvalue()
+    (RESULTS_DIR / f"{name}.txt").write_text(text, encoding="utf-8")
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, default=str), encoding="utf-8"
+    )
+    print(f"[collect] {name} finished in {elapsed:.1f}s", flush=True)
+    return payload
+
+
+def main() -> int:
+    overall = time.perf_counter()
+    capture("table2", run_table2, k=10, eps_values=(0.3, 0.2, 0.15), max_samples=48)
+    capture("figure1", run_figure1, k_values=(1, 2, 3, 4, 5), eps=0.2, max_samples=160)
+    capture("figure2", run_figure2, k_values=(4, 8, 12, 16, 20), eps=0.2, max_samples=48)
+    capture("figure3", run_figure3, k_values=(4, 8, 12, 16, 20), eps=0.2, max_samples=48)
+    capture("figure4", run_figure4, eps_values=(0.4, 0.35, 0.3, 0.25, 0.2, 0.15),
+            k=8, max_samples=96)
+    capture("figure5", run_figure5, eps_values=(0.4, 0.3, 0.2, 0.15), k=8,
+            max_samples=96)
+    print(f"[collect] all experiments done in {time.perf_counter() - overall:.1f}s",
+          flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

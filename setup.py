@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so that legacy editable installs (``pip install -e . --no-use-pep517``)
+work in offline environments where the ``wheel`` package is unavailable; all
+project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,107 @@
+"""High-level entry point: ``maximize_cfcc``.
+
+Dispatches to the individual algorithms so that examples, experiments and
+downstream users only need one call:
+
+>>> from repro import maximize_cfcc
+>>> from repro.graph import generators
+>>> graph = generators.barabasi_albert(150, 2, seed=0)
+>>> result = maximize_cfcc(graph, k=3, method="schur", eps=0.3, seed=1)
+>>> result.k
+3
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.graph import Graph
+from repro.centrality.approx_greedy import ApproxGreedy
+from repro.centrality.cfcc import group_cfcc, group_cfcc_estimate
+from repro.centrality.estimators import SamplingConfig
+from repro.centrality.exact_greedy import ExactGreedy
+from repro.centrality.forest_cfcm import ForestCFCM
+from repro.centrality.heuristics import degree_group, top_cfcc_group
+from repro.centrality.optimum import optimum_cfcm
+from repro.centrality.result import CFCMResult
+from repro.centrality.schur_cfcm import SchurCFCM
+from repro.utils.rng import RandomState
+
+METHODS = ("schur", "forest", "approx", "exact", "degree", "top-cfcc", "optimum")
+
+
+def maximize_cfcc(graph: Graph, k: int, method: str = "schur", eps: float = 0.2,
+                  seed: RandomState = None,
+                  config: Optional[SamplingConfig] = None,
+                  extra_roots: Optional[Sequence[int]] = None,
+                  evaluate: bool | str = False) -> CFCMResult:
+    """Approximately solve CFCM: pick ``k`` nodes maximising group CFCC.
+
+    Parameters
+    ----------
+    graph:
+        Connected undirected :class:`repro.Graph`.
+    k:
+        Group cardinality constraint (``k << n``).
+    method:
+        One of :data:`METHODS`:
+
+        ``"schur"``
+            SchurCFCM — forest sampling + Schur complement (recommended).
+        ``"forest"``
+            ForestCFCM — pure forest sampling.
+        ``"approx"``
+            ApproxGreedy — the JL + Laplacian-solver state-of-the-art baseline.
+        ``"exact"``
+            Exact greedy with dense marginal gains.
+        ``"degree"`` / ``"top-cfcc"``
+            Heuristic baselines.
+        ``"optimum"``
+            Brute force over all groups (tiny graphs only).
+    eps:
+        Error parameter for the randomised methods.
+    seed:
+        Seed or :class:`numpy.random.Generator`.
+    config:
+        Full :class:`SamplingConfig` for the sampling methods (overrides
+        ``eps``).
+    extra_roots:
+        Explicit auxiliary root set ``T`` for SchurCFCM.
+    evaluate:
+        ``False`` (default) leaves ``result.cfcc`` empty; ``True`` or
+        ``"exact"`` fills it with the exact CFCC of the selected group;
+        ``"estimate"`` uses the sparse-solver estimate (large graphs).
+
+    Returns
+    -------
+    :class:`CFCMResult`
+    """
+    method = str(method).lower()
+    if method not in METHODS:
+        raise InvalidParameterError(
+            f"unknown method {method!r}; valid methods: {METHODS}"
+        )
+
+    if method == "schur":
+        result = SchurCFCM(graph, eps=eps, seed=seed, config=config,
+                           extra_roots=extra_roots).run(k)
+    elif method == "forest":
+        result = ForestCFCM(graph, eps=eps, seed=seed, config=config).run(k)
+    elif method == "approx":
+        result = ApproxGreedy(graph, eps=eps, seed=seed).run(k)
+    elif method == "exact":
+        result = ExactGreedy(graph).run(k)
+    elif method == "degree":
+        result = degree_group(graph, k)
+    elif method == "top-cfcc":
+        result = top_cfcc_group(graph, k)
+    else:  # optimum
+        result = optimum_cfcm(graph, k)
+
+    if evaluate and result.cfcc is None:
+        if evaluate == "estimate":
+            result.cfcc = group_cfcc_estimate(graph, result.group)
+        else:
+            result.cfcc = group_cfcc(graph, result.group)
+    return result

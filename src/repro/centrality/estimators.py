@@ -1,0 +1,541 @@
+"""Spanning-forest estimators of grounded-Laplacian quantities.
+
+This module implements the statistical core shared by ForestCFCM and
+SchurCFCM:
+
+* ``Phi_{u,S}(v)`` — the unbiased estimator of ``(inv(L_{-S}))_{uv}`` built
+  from edge-current counts of sampled rooted forests (Lemma 3.3).  The fixed
+  path ``P_{v,S}`` required by the lemma is the BFS-tree path from ``v`` to
+  the root set, so each per-sample value is bounded by the diameter τ (the
+  bound used in Lemmas 3.9 / 4.5).
+* JL-projected estimators ``Phi_{w_j,S}(v)`` of ``w_j^T inv(L_{-S}) e_v``
+  (Section III-B), from which ``diag(inv(L_{-S})^2)`` is recovered as squared
+  projected column norms.
+* the rooted-probability matrix ``F`` and the sampled Schur complement
+  ``S_T(L_{-S})`` of Section IV (Lemma 4.2 and Eq. 15).
+
+Implementation note (documented substitution): the paper's C++ code maintains
+per-directed-edge counters ``N~^{a->b}_{u,S}`` incrementally in O(1) amortised
+per node.  Here every sampled forest is processed with vectorised NumPy
+passes — forest subtree sums per depth level, BFS-level prefix sums, and an
+Euler-tour ancestor test — which computes *exactly the same estimators* (same
+expectations, same per-sample values) with Python-friendly constant factors.
+
+Per-sample quantities
+---------------------
+For a sampled forest with parent map ``π`` and a BFS tree (parent ``b``) from
+the root set:
+
+* ``alpha_x = 1`` iff ``π_x = b_x`` — the BFS edge of ``x`` is traversed
+  upward by every node in the forest subtree of ``x``;
+* ``beta_x = 1`` iff ``π_{b_x} = x`` — the BFS edge of ``x`` is traversed
+  downward by every node in the forest subtree of ``b_x``.
+
+The projected estimator for node ``u`` is the sum over the BFS path of
+``alpha_x * Tw(x) - beta_x * Tw(b_x)`` where ``Tw(x)`` is the forest-subtree
+sum of the weight vector, computed as a prefix sum along BFS levels.  The
+diagonal estimator for ``u`` restricts the same sum to the contribution of
+``u`` itself, i.e. keeps a term only when ``x`` (resp. ``b_x``) is a forest
+ancestor of ``u`` — an O(1) Euler-tour interval test.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.graph import Graph
+from repro.graph.traversal import BFSTree, bfs_tree
+from repro.linalg.jl import jl_dimension
+from repro.sampling.bernstein import empirical_bernstein_bound
+from repro.sampling.wilson import sample_rooted_forest
+from repro.utils.rng import RandomState, as_rng
+
+
+@dataclass
+class SamplingConfig:
+    """Tunable knobs of the forest-sampling estimators.
+
+    Parameters
+    ----------
+    eps:
+        Target relative error of the marginal-gain estimates.
+    delta:
+        Failure probability of the concentration bounds; ``None`` uses the
+        paper's ``1/n``.
+    max_samples:
+        Hard cap on sampled forests per estimation call.  The theoretical
+        Hoeffding-style bound of the paper (``r = O(eps^-2 τ^2 dmax^{2τ+2}
+        log n)``) is astronomically conservative; as in the paper the real
+        driver is the empirical-Bernstein early-stopping rule, and this cap
+        bounds worst-case work.
+    min_samples / initial_batch:
+        Floor and first batch size of the doubling schedule.
+    jl_constant / max_jl_dimension:
+        JL dimension is ``min(ceil(jl_constant * eps^-2 * log n),
+        max_jl_dimension)``; set ``theoretical_constants=True`` to use the
+        paper's ``24 (eps/7)^-2 log n`` without a cap (only sensible for very
+        small graphs).
+    """
+
+    eps: float = 0.2
+    delta: Optional[float] = None
+    max_samples: int = 512
+    min_samples: int = 16
+    initial_batch: int = 16
+    jl_constant: float = 1.0
+    max_jl_dimension: int = 96
+    theoretical_constants: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.eps < 1.0:
+            raise InvalidParameterError(f"eps must lie in (0, 1), got {self.eps}")
+        if self.delta is not None and not 0.0 < self.delta < 1.0:
+            raise InvalidParameterError(f"delta must lie in (0, 1), got {self.delta}")
+        if self.max_samples < 1:
+            raise InvalidParameterError("max_samples must be >= 1")
+        self.min_samples = max(1, min(self.min_samples, self.max_samples))
+        self.initial_batch = max(1, self.initial_batch)
+
+    def failure_probability(self, n: int) -> float:
+        """Effective delta (``1/n`` unless overridden)."""
+        return self.delta if self.delta is not None else 1.0 / max(n, 2)
+
+    def jl_rows(self, n: int) -> int:
+        """Number of JL projection rows for a graph with ``n`` nodes."""
+        if self.theoretical_constants:
+            return jl_dimension(n, self.eps / 7.0, constant=24.0)
+        return jl_dimension(n, self.eps, constant=self.jl_constant,
+                            maximum=self.max_jl_dimension)
+
+    def sample_cap(self, n: int) -> int:
+        """Worst-case sample count for a graph with ``n`` nodes."""
+        if self.theoretical_constants:
+            return self.max_samples  # even then, keep the explicit cap
+        scaled = int(math.ceil(4.0 * self.eps ** -2 * math.log(max(n, 2))))
+        return int(min(self.max_samples, max(self.min_samples, scaled) * 4))
+
+
+def rademacher_weights(rows: int, n: int, excluded: Sequence[int],
+                       rng: np.random.Generator) -> np.ndarray:
+    """JL weight matrix of shape ``(rows, n)``, zeroed on ``excluded`` columns."""
+    scale = 1.0 / math.sqrt(rows)
+    weights = np.where(rng.random((rows, n)) < 0.5, -scale, scale)
+    if len(excluded):
+        weights[:, list(excluded)] = 0.0
+    return weights
+
+
+class ForestAccumulator:
+    """Accumulates forest-sample estimates for a fixed root set.
+
+    Parameters
+    ----------
+    graph:
+        Connected graph.
+    roots:
+        Root set of the sampled forests (``S`` for ForestDelta, ``S ∪ T`` for
+        SchurDelta, ``{s}`` for the first greedy pick).
+    weights:
+        ``(w, n)`` weight matrix; every row defines one linear functional
+        ``w_j^T inv(L_{-roots}) e_u`` to estimate.  Columns on ``roots`` must
+        be zero (they are zeroed defensively).
+    tracked_roots:
+        Optional subset of ``roots`` whose rooted probabilities
+        ``Pr(ρ_u = t)`` must be estimated (the ``T`` set of SchurDelta).
+    seed:
+        Seed or generator driving Wilson's algorithm.
+    """
+
+    def __init__(self, graph: Graph, roots: Sequence[int],
+                 weights: Optional[np.ndarray] = None,
+                 tracked_roots: Optional[Sequence[int]] = None,
+                 seed: RandomState = None):
+        self.graph = graph
+        self.roots = sorted(set(int(r) for r in roots))
+        if not self.roots:
+            raise InvalidParameterError("root set must be non-empty")
+        self.rng = as_rng(seed)
+        self.tree: BFSTree = bfs_tree(graph, self.roots)
+        if np.any(self.tree.depth < 0):
+            raise InvalidParameterError("graph must be connected for forest sampling")
+        self.tau = int(self.tree.max_depth)
+
+        n = graph.n
+        self._root_mask = np.zeros(n, dtype=bool)
+        self._root_mask[self.roots] = True
+        self._bfs_parent = self.tree.parent
+        self._levels = self.tree.levels()
+        self._nonroot = np.flatnonzero(~self._root_mask)
+        # Euler-tour intervals of the *fixed* BFS tree: the diagonal estimator
+        # walks each node's forest path and tests membership of the BFS path
+        # with these intervals, so no per-sample tour is ever needed.
+        from repro.sampling.forest import Forest as _Forest
+
+        bfs_forest = _Forest(parent=self._bfs_parent.copy(),
+                             roots=np.asarray(self.roots, dtype=np.int64))
+        self._bfs_tin, self._bfs_tout = bfs_forest.euler_intervals()
+
+        if weights is None:
+            weights = np.zeros((0, n))
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 2 or weights.shape[1] != n:
+            raise InvalidParameterError(f"weights must have shape (w, {n})")
+        weights = weights.copy()
+        weights[:, self.roots] = 0.0
+        self.weights = weights
+
+        self.tracked_roots = sorted(set(int(t) for t in tracked_roots or []))
+        unknown = set(self.tracked_roots) - set(self.roots)
+        if unknown:
+            raise InvalidParameterError(
+                f"tracked roots {sorted(unknown)} are not part of the root set"
+            )
+
+        rows = weights.shape[0]
+        self.count = 0
+        self.projected_sum = np.zeros((rows, n))
+        self.diag_sum = np.zeros(n)
+        self.diag_sumsq = np.zeros(n)
+        self.root_counts = np.zeros((n, len(self.tracked_roots)))
+
+    # ----------------------------------------------------------------- sampling
+    def add_samples(self, batch_size: int) -> None:
+        """Sample ``batch_size`` forests and fold them into the running sums."""
+        for _ in range(int(batch_size)):
+            forest = sample_rooted_forest(self.graph, self.roots, seed=self.rng)
+            self._process(forest)
+
+    def _process(self, forest) -> None:
+        n = self.graph.n
+        parent = forest.parent
+        bfs_parent = self._bfs_parent
+        nonroot = self._nonroot
+
+        alpha = np.zeros(n, dtype=bool)
+        beta = np.zeros(n, dtype=bool)
+        # alpha_x: the forest parent edge of x coincides with its BFS edge.
+        alpha[nonroot] = parent[nonroot] == bfs_parent[nonroot]
+        # beta_x: the forest parent edge of x's BFS parent points back at x,
+        # i.e. the BFS edge of x is traversed downward by the forest path.
+        beta[nonroot] = parent[bfs_parent[nonroot]] == nonroot
+
+        # Projected (weight-vector) estimators: forest-subtree sums of the
+        # weights, folded along the BFS tree with per-level prefix sums.
+        if self.weights.shape[0]:
+            subtree = forest.subtree_sums(self.weights)
+            contribution = np.zeros_like(subtree)
+            contribution[:, nonroot] = (
+                subtree[:, nonroot] * alpha[nonroot]
+                - subtree[:, bfs_parent[nonroot]] * beta[nonroot]
+            )
+            projected = np.zeros_like(subtree)
+            for level in range(1, len(self._levels)):
+                nodes = self._levels[level]
+                if nodes.size == 0:
+                    continue
+                projected[:, nodes] = projected[:, bfs_parent[nodes]] + contribution[:, nodes]
+            self.projected_sum += projected
+
+        # Diagonal estimators.  Rewriting the Lemma 3.3 path sum so that the
+        # outer iteration runs over each node's *forest* ancestors gives
+        #
+        #   c_u = sum_{x in Fanc(u) \ S} ( alpha_x [x in BFSpath(u)]
+        #                                  - delta_x [pi_x in BFSpath(u)] )
+        #
+        # with delta_x = 1 iff bfs_parent(pi_x) = x.  Membership of the fixed
+        # BFS path is an Euler-interval test precomputed in the constructor,
+        # so every walk step below is a handful of vectorised array ops.
+        tin, tout = self._bfs_tin, self._bfs_tout
+        delta = np.zeros(n, dtype=bool)
+        has_parent = parent >= 0
+        delta[has_parent] = bfs_parent[parent[has_parent]] == np.flatnonzero(has_parent)
+        diag = np.zeros(n)
+        cursor = nonroot.copy()
+        active = nonroot.copy()
+        tin_active = tin[active]
+        while active.size:
+            x = cursor
+            on_path_x = (tin[x] <= tin_active) & (tin_active <= tout[x])
+            pi_x = parent[x]
+            safe_pi = np.where(pi_x >= 0, pi_x, x)
+            on_path_pi = (tin[safe_pi] <= tin_active) & (tin_active <= tout[safe_pi])
+            diag[active] += (
+                (alpha[x] & on_path_x).astype(np.float64)
+                - (delta[x] & on_path_pi & (pi_x >= 0)).astype(np.float64)
+            )
+            keep = (pi_x >= 0) & ~self._root_mask[safe_pi]
+            active = active[keep]
+            cursor = pi_x[keep]
+            tin_active = tin_active[keep]
+        self.diag_sum += diag
+        self.diag_sumsq += diag * diag
+
+        # Rooted probabilities for the tracked (Schur) roots.
+        if self.tracked_roots:
+            root_of = forest.root_of()
+            for idx, target in enumerate(self.tracked_roots):
+                self.root_counts[:, idx] += root_of == target
+
+        self.count += 1
+
+    # ------------------------------------------------------------------ results
+    def projected_estimates(self) -> np.ndarray:
+        """``(w, n)`` estimates of ``w_j^T inv(L_{-roots}) e_u``."""
+        self._require_samples()
+        return self.projected_sum / self.count
+
+    def diag_estimates(self) -> np.ndarray:
+        """``(n,)`` estimates of ``(inv(L_{-roots}))_uu`` (zero on roots)."""
+        self._require_samples()
+        return self.diag_sum / self.count
+
+    def diag_variances(self) -> np.ndarray:
+        """Per-node empirical variance of the diagonal per-sample values."""
+        self._require_samples()
+        mean = self.diag_sum / self.count
+        return np.maximum(self.diag_sumsq / self.count - mean * mean, 0.0)
+
+    def diag_half_widths(self, delta: float) -> np.ndarray:
+        """Empirical-Bernstein half-widths of the diagonal estimates."""
+        self._require_samples()
+        variances = self.diag_variances()
+        bound = float(max(self.tau, 1))
+        log_term = math.log(3.0 / delta)
+        return (np.sqrt(2.0 * variances * log_term / self.count)
+                + 3.0 * bound * log_term / self.count)
+
+    def root_fractions(self) -> np.ndarray:
+        """``(n, |tracked_roots|)`` empirical probabilities ``Pr(ρ_u = t)``.
+
+        Rows of root-set nodes are zeroed: the Schur machinery only uses the
+        interior rows ``u ∈ U``.
+        """
+        self._require_samples()
+        fractions = self.root_counts / self.count
+        fractions[self._root_mask] = 0.0
+        return fractions
+
+    def _require_samples(self) -> None:
+        if self.count == 0:
+            raise InvalidParameterError("no forests sampled yet")
+
+
+def run_adaptive_sampling(accumulator: ForestAccumulator, config: SamplingConfig,
+                          monitored: Optional[np.ndarray] = None,
+                          ) -> Dict[str, float]:
+    """Doubling-batch sampling with empirical-Bernstein early stopping.
+
+    The stopping rule mirrors line 17 of Algorithm 2: sampling ends once the
+    Bernstein half-width of every monitored diagonal estimate satisfies
+    ``err_u <= eps * (estimate_u - err_u)`` (or the sample cap is reached).
+
+    Parameters
+    ----------
+    monitored:
+        Boolean mask of nodes whose diagonal estimates drive the stopping
+        rule; defaults to all non-root nodes.
+
+    Returns
+    -------
+    Diagnostics dictionary with the number of samples and whether the rule
+    fired before the cap.
+    """
+    n = accumulator.graph.n
+    delta = config.failure_probability(n)
+    cap = config.sample_cap(n)
+    if monitored is None:
+        monitored = ~accumulator._root_mask
+    monitored = np.asarray(monitored, dtype=bool)
+
+    batch = config.initial_batch
+    stopped_early = False
+    while accumulator.count < cap:
+        take = min(batch, cap - accumulator.count)
+        accumulator.add_samples(take)
+        batch *= 2
+        if accumulator.count < config.min_samples:
+            continue
+        estimates = accumulator.diag_estimates()
+        widths = accumulator.diag_half_widths(delta)
+        slack = estimates - widths
+        satisfied = widths <= config.eps * np.maximum(slack, 0.0)
+        if bool(np.all(satisfied[monitored])):
+            stopped_early = True
+            break
+    return {
+        "samples": float(accumulator.count),
+        "stopped_early": float(stopped_early),
+        "cap": float(cap),
+    }
+
+
+def estimate_first_pick(graph: Graph, config: SamplingConfig,
+                        seed: RandomState = None,
+                        anchor: Optional[int] = None,
+                        ) -> Tuple[int, np.ndarray, Dict[str, float]]:
+    """First greedy pick shared by ForestCFCM and SchurCFCM (Algorithm 3/5, lines 1-14).
+
+    Samples forests rooted at the maximum-degree node ``s`` and estimates, for
+    every node ``u``,
+
+    ``x_u = Phi_{u,{s}}(u) - (2/n) Phi_{1,{s}}(u)``
+
+    which equals ``L†_uu`` up to the common constant ``(1/n^2) 1^T inv(L_{-s}) 1``
+    (Lemma 3.5); the node minimising ``x_u`` therefore minimises ``L†_uu``.
+
+    Returns
+    -------
+    (node, scores, diagnostics):
+        The selected node, the estimated ``x_u`` vector (``x_s = 0``) and the
+        sampling diagnostics.
+    """
+    rng = as_rng(seed)
+    n = graph.n
+    s = int(np.argmax(graph.degrees)) if anchor is None else int(anchor)
+    ones = np.ones((1, n))
+    accumulator = ForestAccumulator(graph, [s], weights=ones, seed=rng)
+    diagnostics = run_adaptive_sampling(accumulator, config)
+    column_sums = accumulator.projected_estimates()[0]
+    diagonal = accumulator.diag_estimates()
+    scores = diagonal - (2.0 / n) * column_sums
+    scores[s] = 0.0
+    best = int(np.argmin(scores))
+    return best, scores, diagnostics
+
+
+def estimate_forest_delta(graph: Graph, group: Sequence[int],
+                          config: SamplingConfig, seed: RandomState = None,
+                          ) -> Tuple[Dict[int, float], Dict[str, float]]:
+    """ForestDelta (Algorithm 2): estimate ``Δ(u, S)`` for every ``u ∉ S``.
+
+    Returns
+    -------
+    (gains, diagnostics):
+        ``gains[u]`` approximates ``(inv(L_{-S})^2)_uu / (inv(L_{-S}))_uu``.
+    """
+    rng = as_rng(seed)
+    group = sorted(set(int(v) for v in group))
+    n = graph.n
+    rows = config.jl_rows(n)
+    weights = rademacher_weights(rows, n, group, rng)
+    accumulator = ForestAccumulator(graph, group, weights=weights, seed=rng)
+    diagnostics = run_adaptive_sampling(accumulator, config)
+
+    projected = accumulator.projected_estimates()
+    diagonal = accumulator.diag_estimates()
+    numerators = np.sum(projected * projected, axis=0)
+    gains: Dict[int, float] = {}
+    for u in range(n):
+        if u in group:
+            continue
+        # (inv(L_{-S}))_uu >= 1/d_u (Neumann series), a sound floor for the
+        # denominator when the sampled estimate is noisy or non-positive.
+        floor = 1.0 / max(graph.degrees[u], 1)
+        denominator = max(float(diagonal[u]), floor)
+        gains[u] = float(numerators[u]) / denominator
+    return gains, diagnostics
+
+
+def estimate_schur_delta(graph: Graph, group: Sequence[int], extra_roots: Sequence[int],
+                         config: SamplingConfig, seed: RandomState = None,
+                         ) -> Tuple[Dict[int, float], Dict[str, float]]:
+    """SchurDelta (Algorithm 4): ``Δ(u, S)`` estimates using extra roots ``T``.
+
+    The forests are rooted at ``S ∪ T`` — cheaper to sample and better
+    conditioned — and ``inv(L_{-S})`` is reassembled through the Eq. (11)
+    block representation with the sampled rooted-probability matrix ``F`` and
+    the sampled Schur complement of Eq. (15).
+    """
+    rng = as_rng(seed)
+    group = sorted(set(int(v) for v in group))
+    extras = sorted(set(int(t) for t in extra_roots) - set(group))
+    if not extras:
+        return estimate_forest_delta(graph, group, config, seed=rng)
+
+    n = graph.n
+    roots = sorted(set(group) | set(extras))
+    rows = config.jl_rows(n)
+    # One Rademacher matrix over all non-grounded coordinates; the columns on
+    # U act as the paper's W block and the columns on T as its Q block.
+    full_weights = rademacher_weights(rows, n, group, rng)
+    interior_weights = full_weights.copy()
+    interior_weights[:, roots] = 0.0
+    q_block = full_weights[:, extras]
+
+    accumulator = ForestAccumulator(
+        graph, roots, weights=interior_weights, tracked_roots=extras, seed=rng
+    )
+    diagnostics = run_adaptive_sampling(accumulator, config)
+
+    projected = accumulator.projected_estimates()
+    diagonal = accumulator.diag_estimates()
+    fractions = accumulator.root_fractions()  # (n, |T|), zero rows on roots
+
+    schur = _sampled_schur_complement(graph, group, extras, fractions)
+    inv_schur = _robust_inverse(schur)
+
+    # (w, |T|) combination (W F + Q) used by both the U and T columns.
+    combined = interior_weights @ fractions + q_block
+
+    gains: Dict[int, float] = {}
+    extras_index = {t: i for i, t in enumerate(extras)}
+    for u in range(n):
+        if u in group:
+            continue
+        floor = 1.0 / max(graph.degrees[u], 1)
+        if u in extras_index:
+            idx = extras_index[u]
+            column = combined @ inv_schur[:, idx]
+            denominator = max(float(inv_schur[idx, idx]), floor)
+        else:
+            f_row = fractions[u]
+            correction = inv_schur @ f_row
+            column = projected[:, u] + combined @ correction
+            denominator = max(float(diagonal[u]) + float(f_row @ correction), floor)
+        gains[u] = float(column @ column) / denominator
+    return gains, diagnostics
+
+
+def _sampled_schur_complement(graph: Graph, group: Sequence[int],
+                              extras: Sequence[int],
+                              fractions: np.ndarray) -> np.ndarray:
+    """Assemble the sampled ``S_T(L_{-S})`` from rooted probabilities (Eq. 15)."""
+    grounded = set(int(v) for v in group)
+    extras = list(extras)
+    index = {t: i for i, t in enumerate(extras)}
+    size = len(extras)
+    schur = np.zeros((size, size))
+    for t in extras:
+        i = index[t]
+        schur[i, i] = graph.degrees[t]
+    for i, t_i in enumerate(extras):
+        for t_j in graph.neighbors(t_i):
+            t_j = int(t_j)
+            if t_j in index and index[t_j] > i:
+                schur[i, index[t_j]] -= 1.0
+                schur[index[t_j], i] -= 1.0
+    # Subtract, per column t_j, the rooted probabilities of the interior
+    # neighbours of t_i: (L_TU F)_{ij} = -sum_{(u, t_i) in E, u in U} F[u, j].
+    for t_i in extras:
+        i = index[t_i]
+        for u in graph.neighbors(t_i):
+            u = int(u)
+            if u in index or u in grounded:
+                continue
+            schur[i, :] -= fractions[u]
+    return schur
+
+
+def _robust_inverse(matrix: np.ndarray, ridge: float = 1e-10) -> np.ndarray:
+    """Inverse with a tiny ridge fallback for near-singular sampled matrices."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    try:
+        return np.linalg.inv(matrix)
+    except np.linalg.LinAlgError:
+        size = matrix.shape[0]
+        return np.linalg.inv(matrix + ridge * np.eye(size))

@@ -1,0 +1,118 @@
+"""Evaluation metrics for comparing CFCM solutions and algorithms.
+
+The experiment harness and the ablation studies need a consistent vocabulary
+for "how good is this group / this method":
+
+* :func:`relative_difference` — the Fig. 5 metric, the relative CFCC gap to a
+  reference solution (usually the exact greedy);
+* :func:`approximation_ratio` — the ratio to the brute-force optimum, i.e.
+  the empirical counterpart of the paper's `1 - (k/(k-1))/e - eps` guarantee;
+* :func:`group_overlap` — Jaccard overlap between two selected groups;
+* :func:`ranking_agreement` — Kendall-tau-style agreement between two
+  marginal-gain rankings, used to compare the sampled oracles (ForestDelta /
+  SchurDelta) against the exact gains;
+* :func:`effectiveness_curve` — CFCC along the greedy prefixes of a result,
+  the quantity plotted in Fig. 2/3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.graph import Graph
+from repro.centrality.cfcc import group_cfcc
+from repro.centrality.result import CFCMResult
+
+
+def relative_difference(reference_value: float, value: float) -> float:
+    """``(reference - value) / reference`` clipped below at zero.
+
+    Zero means the solution matches (or beats) the reference; this is the
+    quantity on the y-axis of Fig. 5.
+    """
+    if reference_value <= 0:
+        raise InvalidParameterError("reference value must be positive")
+    return max(0.0, (reference_value - value) / reference_value)
+
+
+def approximation_ratio(optimal_value: float, value: float) -> float:
+    """``value / optimal`` — 1.0 means the solution is optimal."""
+    if optimal_value <= 0:
+        raise InvalidParameterError("optimal value must be positive")
+    return value / optimal_value
+
+
+def group_overlap(first: Sequence[int], second: Sequence[int]) -> float:
+    """Jaccard overlap of two node groups (1.0 = identical)."""
+    a, b = set(first), set(second)
+    if not a and not b:
+        return 1.0
+    return len(a & b) / len(a | b)
+
+
+def ranking_agreement(reference: Mapping[int, float],
+                      estimate: Mapping[int, float]) -> float:
+    """Kendall-tau-b agreement between two score dictionaries.
+
+    Only keys present in both mappings are compared.  Returns a value in
+    ``[-1, 1]``; 1 means the estimated gains order the candidates exactly as
+    the exact gains do, which is all a greedy selection needs.
+    """
+    common = sorted(set(reference) & set(estimate))
+    if len(common) < 2:
+        raise InvalidParameterError("need at least two common candidates to compare")
+    ref = np.asarray([reference[key] for key in common])
+    est = np.asarray([estimate[key] for key in common])
+    from scipy.stats import kendalltau
+
+    value, _ = kendalltau(ref, est)
+    return float(value)
+
+
+def top_candidate_recall(reference: Mapping[int, float],
+                         estimate: Mapping[int, float], top: int = 5) -> float:
+    """Fraction of the reference's top-``top`` candidates kept in the estimate's top-``top``."""
+    if top <= 0:
+        raise InvalidParameterError("top must be positive")
+    ref_top = set(sorted(reference, key=reference.get, reverse=True)[:top])
+    est_top = set(sorted(estimate, key=estimate.get, reverse=True)[:top])
+    return len(ref_top & est_top) / len(ref_top)
+
+
+def effectiveness_curve(graph: Graph, result: CFCMResult,
+                        k_values: Sequence[int] | None = None) -> Dict[int, float]:
+    """Exact CFCC of every greedy prefix of ``result`` (the Fig. 2/3 curves)."""
+    if k_values is None:
+        k_values = range(1, result.k + 1)
+    curve: Dict[int, float] = {}
+    for k in k_values:
+        curve[int(k)] = group_cfcc(graph, result.prefix(int(k)))
+    return curve
+
+
+def compare_methods(graph: Graph, results: Mapping[str, CFCMResult],
+                    reference: str = "exact") -> Dict[str, Dict[str, float]]:
+    """Summary table comparing several results against a reference method.
+
+    Returns, per method, the exact CFCC of its group, the relative difference
+    to the reference, the group overlap with the reference and the runtime.
+    """
+    if reference not in results:
+        raise InvalidParameterError(
+            f"reference method {reference!r} missing from results {sorted(results)}"
+        )
+    reference_value = group_cfcc(graph, results[reference].group)
+    summary: Dict[str, Dict[str, float]] = {}
+    for name, result in results.items():
+        value = group_cfcc(graph, result.group)
+        summary[name] = {
+            "cfcc": value,
+            "relative_difference": relative_difference(reference_value, value),
+            "overlap_with_reference": group_overlap(result.group,
+                                                    results[reference].group),
+            "runtime_seconds": result.runtime_seconds,
+        }
+    return summary

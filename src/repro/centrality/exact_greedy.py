@@ -1,0 +1,82 @@
+"""Exact greedy baseline (the paper's ``Exact`` method).
+
+Computes the first pick from the dense Laplacian pseudoinverse (Eq. 4) and
+every subsequent marginal gain ``Δ(u, S)`` from the dense ``inv(L_{-S})``
+(Eq. 5).  After each pick the inverse is downdated in O(n^2) instead of being
+refactored, so the overall cost is O(n^3 + k n^2) — feasible for graphs of a
+few thousand nodes, exactly the regime in which Table II reports ``Exact``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.graph.traversal import require_connected
+from repro.centrality.result import CFCMResult
+from repro.linalg.pseudoinverse import pseudoinverse_diagonal
+from repro.linalg.updates import GroundedInverseTracker
+from repro.utils.validation import check_integer
+
+
+class ExactGreedy:
+    """Deterministic greedy CFCM solver using dense linear algebra.
+
+    Examples
+    --------
+    >>> from repro.graph import generators
+    >>> graph = generators.barabasi_albert(60, 2, seed=3)
+    >>> result = ExactGreedy(graph).run(k=2)
+    >>> len(result.group)
+    2
+    """
+
+    method_name = "exact"
+
+    def __init__(self, graph: Graph):
+        require_connected(graph)
+        self.graph = graph
+
+    def run(self, k: int) -> CFCMResult:
+        """Select ``k`` nodes greedily with exact marginal gains."""
+        check_integer("k", k, minimum=1, maximum=self.graph.n - 1)
+        start = time.perf_counter()
+        iteration_log: List[Dict[str, object]] = []
+
+        diag = pseudoinverse_diagonal(self.graph)
+        first = int(np.argmin(diag))
+        group = [first]
+        iteration_log.append({
+            "iteration": 0,
+            "node": first,
+            "score": float(diag[first]),
+        })
+
+        tracker = GroundedInverseTracker(self.graph, group)
+        for iteration in range(1, k):
+            inverse = tracker.inverse
+            numerators = np.sum(inverse * inverse, axis=0)
+            denominators = np.diag(inverse)
+            gains = numerators / denominators
+            local_best = int(np.argmax(gains))
+            node = int(tracker.kept[local_best])
+            group.append(node)
+            iteration_log.append({
+                "iteration": iteration,
+                "node": node,
+                "gain": float(gains[local_best]),
+                "trace_before": float(tracker.trace()),
+            })
+            tracker.add_node(node)
+
+        runtime = time.perf_counter() - start
+        return CFCMResult(
+            method=self.method_name,
+            group=group,
+            runtime_seconds=runtime,
+            parameters={},
+            iteration_log=iteration_log,
+        )

@@ -1,0 +1,49 @@
+"""Heuristic baselines: Degree and Top-CFCC (Section V-A of the paper).
+
+* ``Degree`` selects the ``k`` nodes with the largest degrees.
+* ``Top-CFCC`` selects the ``k`` nodes with the largest single-node CFCC.
+
+Both ignore interactions inside the group, which is precisely the effect the
+paper's Fig. 2/3 use them to demonstrate.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.graph.traversal import require_connected
+from repro.centrality.cfcc import single_cfcc_all
+from repro.centrality.result import CFCMResult
+from repro.utils.validation import check_integer
+
+
+def degree_group(graph: Graph, k: int) -> CFCMResult:
+    """Top-``k`` nodes by degree (ties broken by node id)."""
+    check_integer("k", k, minimum=1, maximum=graph.n - 1)
+    start = time.perf_counter()
+    order = np.argsort(-graph.degrees, kind="stable")
+    group: List[int] = [int(v) for v in order[:k]]
+    return CFCMResult(
+        method="degree",
+        group=group,
+        runtime_seconds=time.perf_counter() - start,
+    )
+
+
+def top_cfcc_group(graph: Graph, k: int) -> CFCMResult:
+    """Top-``k`` nodes by exact single-node CFCC (ties broken by node id)."""
+    require_connected(graph)
+    check_integer("k", k, minimum=1, maximum=graph.n - 1)
+    start = time.perf_counter()
+    scores = single_cfcc_all(graph)
+    order = np.argsort(-scores, kind="stable")
+    group = [int(v) for v in order[:k]]
+    return CFCMResult(
+        method="top-cfcc",
+        group=group,
+        runtime_seconds=time.perf_counter() - start,
+    )

@@ -1,0 +1,74 @@
+"""Brute-force optimum for tiny graphs (the reference curve of Fig. 1).
+
+CFCM is NP-hard, so the optimum is obtained by exhaustively evaluating
+``C(S)`` over all ``n choose k`` groups.  Only intended for graphs with a few
+dozen nodes; the effort is bounded explicitly to protect callers.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import time
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.graph import Graph
+from repro.graph.traversal import require_connected
+from repro.centrality.result import CFCMResult
+from repro.linalg.laplacian import laplacian_dense
+from repro.utils.validation import check_integer
+
+
+def optimum_cfcm(graph: Graph, k: int, max_candidates: int = 2_000_000) -> CFCMResult:
+    """Exhaustive CFCM optimum.
+
+    Parameters
+    ----------
+    graph:
+        Connected graph, small enough that ``n choose k`` stays below
+        ``max_candidates``.
+    k:
+        Group size.
+    max_candidates:
+        Safety cap on the number of evaluated groups.
+
+    Returns
+    -------
+    :class:`CFCMResult` whose ``cfcc`` field holds the optimal value.
+    """
+    require_connected(graph)
+    check_integer("k", k, minimum=1, maximum=graph.n - 1)
+    candidates = math.comb(graph.n, k)
+    if candidates > max_candidates:
+        raise InvalidParameterError(
+            f"brute force would evaluate {candidates} groups "
+            f"(> max_candidates={max_candidates}); use a greedy algorithm instead"
+        )
+    start = time.perf_counter()
+    laplacian = laplacian_dense(graph)
+    best_group: Tuple[int, ...] | None = None
+    best_trace = math.inf
+    nodes = range(graph.n)
+    for group in itertools.combinations(nodes, k):
+        trace = _grounded_trace(laplacian, group)
+        if trace < best_trace:
+            best_trace = trace
+            best_group = group
+    assert best_group is not None
+    return CFCMResult(
+        method="optimum",
+        group=list(best_group),
+        runtime_seconds=time.perf_counter() - start,
+        cfcc=graph.n / best_trace,
+        parameters={"candidates": candidates},
+    )
+
+
+def _grounded_trace(laplacian: np.ndarray, group: Sequence[int]) -> float:
+    keep = np.ones(laplacian.shape[0], dtype=bool)
+    keep[list(group)] = False
+    reduced = laplacian[np.ix_(keep, keep)]
+    return float(np.trace(np.linalg.inv(reduced)))

@@ -1,0 +1,71 @@
+"""Result container shared by all CFCM algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.exceptions import NotComputedError
+
+
+@dataclass
+class CFCMResult:
+    """Outcome of one CFCM maximisation run.
+
+    Attributes
+    ----------
+    method:
+        Name of the algorithm (``"exact"``, ``"approx"``, ``"forest"``,
+        ``"schur"``, ``"degree"``, ``"top-cfcc"``, ``"optimum"``).
+    group:
+        Selected nodes in the order they were added.
+    runtime_seconds:
+        Wall-clock time of the selection.
+    parameters:
+        Algorithm parameters (``eps``, seeds, sample caps, ...).
+    iteration_log:
+        One entry per greedy iteration with diagnostic data (chosen node,
+        estimated gain, samples used, ...).
+    cfcc:
+        Exact or estimated CFCC of the final group when the caller asked the
+        algorithm to evaluate it; ``None`` otherwise.
+    """
+
+    method: str
+    group: List[int]
+    runtime_seconds: float = 0.0
+    parameters: Dict[str, object] = field(default_factory=dict)
+    iteration_log: List[Dict[str, object]] = field(default_factory=list)
+    cfcc: Optional[float] = None
+
+    @property
+    def k(self) -> int:
+        """Number of selected nodes."""
+        return len(self.group)
+
+    def as_set(self) -> set:
+        """Selected nodes as a set."""
+        return set(self.group)
+
+    def prefix(self, size: int) -> Sequence[int]:
+        """First ``size`` selected nodes (greedy prefix)."""
+        if size < 0 or size > len(self.group):
+            raise NotComputedError(
+                f"prefix of size {size} unavailable; only {len(self.group)} nodes selected"
+            )
+        return list(self.group[:size])
+
+    def samples_used(self) -> int:
+        """Total number of sampled forests recorded in the iteration log."""
+        return int(sum(int(entry.get("samples", 0)) for entry in self.iteration_log))
+
+    def summary(self) -> Dict[str, object]:
+        """Compact dictionary for experiment reporting."""
+        return {
+            "method": self.method,
+            "k": self.k,
+            "group": list(self.group),
+            "runtime_seconds": self.runtime_seconds,
+            "cfcc": self.cfcc,
+            "samples": self.samples_used(),
+        }

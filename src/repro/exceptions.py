@@ -1,0 +1,35 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error intentionally raised by the library derives from
+:class:`ReproError`, so downstream users can catch a single base class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed or unsupported graph inputs."""
+
+
+class DisconnectedGraphError(GraphError):
+    """Raised when an operation requires a connected graph but the input is not."""
+
+
+class InvalidNodeError(GraphError):
+    """Raised when a node identifier is outside ``0 .. n - 1`` or otherwise invalid."""
+
+
+class InvalidParameterError(ReproError):
+    """Raised when an algorithm parameter is out of its valid range."""
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative solver or sampler fails to reach its target accuracy."""
+
+
+class NotComputedError(ReproError):
+    """Raised when a result attribute is accessed before the algorithm has been run."""

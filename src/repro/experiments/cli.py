@@ -1,0 +1,79 @@
+"""Command-line interface of the experiment harness.
+
+Usage::
+
+    python -m repro.experiments table2 [--scale small|full] [--k 10]
+    python -m repro.experiments fig1
+    python -m repro.experiments fig2 --eps 0.2
+    python -m repro.experiments all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.table2 import run_table2
+
+EXPERIMENTS = ("table2", "fig1", "fig2", "fig3", "fig4", "fig5", "all")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures on synthetic stand-ins.",
+    )
+    parser.add_argument("experiment", choices=EXPERIMENTS,
+                        help="which artefact to regenerate")
+    parser.add_argument("--scale", choices=("small", "full"), default="small",
+                        help="workload scale (default: small)")
+    parser.add_argument("--k", type=int, default=10,
+                        help="group size for table2/fig4/fig5 (default: 10)")
+    parser.add_argument("--eps", type=float, default=0.2,
+                        help="error parameter for the effectiveness studies")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument("--max-samples", type=int, default=96,
+                        help="per-call cap on sampled spanning forests")
+    parser.add_argument("--quick", action="store_true",
+                        help="shrink sweeps for a fast smoke run")
+    parser.add_argument("--output-json", default=None,
+                        help="optional path for a JSON dump of the results")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    eps_sweep = (0.3, 0.2) if args.quick else (0.4, 0.35, 0.3, 0.25, 0.2, 0.15)
+    table_eps = (0.3, 0.2) if args.quick else (0.3, 0.2, 0.15)
+    k_values = (2, 4) if args.quick else (4, 8, 12, 16, 20)
+    fig1_k = (1, 2, 3) if args.quick else (1, 2, 3, 4, 5)
+    k = min(args.k, 4) if args.quick else args.k
+
+    name = args.experiment
+    if name in ("table2", "all"):
+        run_table2(k=k, eps_values=table_eps, max_samples=args.max_samples,
+                   seed=args.seed, scale=args.scale, output_json=args.output_json)
+    if name in ("fig1", "all"):
+        run_figure1(k_values=fig1_k, eps=args.eps, seed=args.seed,
+                    output_json=args.output_json)
+    if name in ("fig2", "all"):
+        run_figure2(k_values=k_values, eps=args.eps, max_samples=args.max_samples,
+                    seed=args.seed, scale=args.scale, output_json=args.output_json)
+    if name in ("fig3", "all"):
+        run_figure3(k_values=k_values, eps=args.eps, max_samples=args.max_samples,
+                    seed=args.seed, scale=args.scale, output_json=args.output_json)
+    if name in ("fig4", "all"):
+        run_figure4(eps_values=eps_sweep, k=k, max_samples=args.max_samples,
+                    seed=args.seed, scale=args.scale, output_json=args.output_json)
+    if name in ("fig5", "all"):
+        run_figure5(eps_values=eps_sweep, k=k, max_samples=args.max_samples,
+                    seed=args.seed, scale=args.scale, output_json=args.output_json)
+    return 0

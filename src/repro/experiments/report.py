@@ -1,0 +1,55 @@
+"""Plain-text and JSON reporting helpers for the experiment harness."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 float_format: str = "{:.3f}") -> str:
+    """Render a list of rows as an aligned plain-text table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for value in row:
+            if isinstance(value, float):
+                rendered.append(float_format.format(value))
+            elif value is None:
+                rendered.append("-")
+            else:
+                rendered.append(str(value))
+        rendered_rows.append(rendered)
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(title: str, series: Dict[str, Dict[object, float]],
+                  x_label: str = "k") -> str:
+    """Render ``{method: {x: value}}`` series as a table with one column per method."""
+    methods = sorted(series)
+    xs = sorted({x for values in series.values() for x in values})
+    headers = [x_label] + methods
+    rows = []
+    for x in xs:
+        row: List[object] = [x]
+        for method in methods:
+            row.append(series[method].get(x))
+        rows.append(row)
+    return f"{title}\n" + format_table(headers, rows, float_format="{:.5f}")
+
+
+def save_json(payload: object, path: Optional[str]) -> None:
+    """Persist a result payload as JSON when ``path`` is given."""
+    if path is None:
+        return
+    Path(path).write_text(json.dumps(payload, indent=2, default=str), encoding="utf-8")

@@ -1,0 +1,86 @@
+"""Constructors converting external representations into :class:`repro.Graph`."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import GraphError
+from repro.graph.graph import Graph
+
+
+def from_edge_list(edges: Iterable[Tuple[int, int]], n: int | None = None) -> Graph:
+    """Build a graph from an edge list, inferring ``n`` when not given.
+
+    Duplicate undirected edges and self-loops are removed rather than rejected,
+    which makes this the forgiving entry point for external data.
+    """
+    unique = set()
+    max_node = -1
+    for u, v in edges:
+        u, v = int(u), int(v)
+        max_node = max(max_node, u, v)
+        if u == v:
+            continue
+        unique.add((min(u, v), max(u, v)))
+    if n is None:
+        n = max_node + 1
+    if n <= 0:
+        raise GraphError("cannot build a graph with no nodes")
+    return Graph(n, sorted(unique))
+
+
+def from_networkx(nx_graph) -> Tuple[Graph, dict]:
+    """Convert a networkx graph, returning the graph and a node-relabel map.
+
+    Returns
+    -------
+    (graph, labels):
+        ``labels[i]`` gives the original networkx node corresponding to the
+        integer node ``i`` of the returned :class:`Graph`.
+    """
+    nodes = list(nx_graph.nodes())
+    index = {node: i for i, node in enumerate(nodes)}
+    edges = [(index[u], index[v]) for u, v in nx_graph.edges() if u != v]
+    graph = from_edge_list(edges, n=len(nodes))
+    return graph, dict(enumerate(nodes))
+
+
+def to_networkx(graph: Graph):
+    """Convert a :class:`Graph` into a :class:`networkx.Graph`."""
+    import networkx as nx
+
+    nx_graph = nx.Graph()
+    nx_graph.add_nodes_from(range(graph.n))
+    nx_graph.add_edges_from(graph.edges())
+    return nx_graph
+
+
+def from_adjacency_matrix(matrix) -> Graph:
+    """Build a graph from a dense or sparse symmetric 0/1 adjacency matrix."""
+    if sp.issparse(matrix):
+        coo = sp.triu(matrix, k=1).tocoo()
+        n = matrix.shape[0]
+        edges = list(zip(coo.row.tolist(), coo.col.tolist()))
+    else:
+        arr = np.asarray(matrix)
+        if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+            raise GraphError("adjacency matrix must be square")
+        if not np.allclose(arr, arr.T):
+            raise GraphError("adjacency matrix must be symmetric")
+        n = arr.shape[0]
+        rows, cols = np.nonzero(np.triu(arr, k=1))
+        edges = list(zip(rows.tolist(), cols.tolist()))
+    return Graph(n, edges)
+
+
+def from_parent_array(parents: Sequence[int]) -> Graph:
+    """Build a tree/forest graph from a parent array (``-1`` marks roots)."""
+    edges = []
+    for child, parent in enumerate(parents):
+        if parent is None or int(parent) < 0:
+            continue
+        edges.append((child, int(parent)))
+    return from_edge_list(edges, n=len(parents))

@@ -1,0 +1,48 @@
+"""Laplacian linear algebra: matrices, solvers, JL projections, Schur complements."""
+
+from repro.linalg.laplacian import (
+    laplacian_matrix,
+    laplacian_dense,
+    grounded_laplacian,
+    grounded_laplacian_dense,
+    transition_matrix,
+)
+from repro.linalg.pseudoinverse import laplacian_pseudoinverse, pseudoinverse_diagonal
+from repro.linalg.solvers import LaplacianSolver, SolverMethod
+from repro.linalg.jl import JLProjection, jl_dimension
+from repro.linalg.schur import (
+    schur_complement,
+    schur_onto,
+    grounded_inverse_block,
+)
+from repro.linalg.incidence import incidence_factor, grounded_incidence_factor
+from repro.linalg.updates import grounded_inverse, grounded_inverse_downdate
+from repro.linalg.sparsify import (
+    SparsifiedGraph,
+    spectral_relative_error,
+    spectral_sparsify,
+)
+
+__all__ = [
+    "laplacian_matrix",
+    "laplacian_dense",
+    "grounded_laplacian",
+    "grounded_laplacian_dense",
+    "transition_matrix",
+    "laplacian_pseudoinverse",
+    "pseudoinverse_diagonal",
+    "LaplacianSolver",
+    "SolverMethod",
+    "JLProjection",
+    "jl_dimension",
+    "schur_complement",
+    "schur_onto",
+    "grounded_inverse_block",
+    "incidence_factor",
+    "grounded_incidence_factor",
+    "grounded_inverse",
+    "grounded_inverse_downdate",
+    "SparsifiedGraph",
+    "spectral_relative_error",
+    "spectral_sparsify",
+]

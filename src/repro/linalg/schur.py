@@ -1,0 +1,161 @@
+"""Schur complements of (grounded) Laplacians.
+
+Section IV of the paper leverages two facts:
+
+* ``S_T(L)`` — the Schur complement of the Laplacian onto a node subset ``T``
+  — is itself the Laplacian of a weighted graph on ``T`` (Devriendt 2022);
+* ``S_T(L_{-S}) = (S_{S∪T}(L))_{-S}`` (Lemma 4.3), and ``inv(L_{-S})`` has the
+  block representation of Eq. (11) in terms of ``inv(L_UU)``,
+  ``F = -inv(L_UU) L_UT`` and ``inv(S_T(L_{-S}))``.
+
+This module provides exact dense implementations of those identities, used by
+the tests as ground truth for the sampled Schur complement of SchurCFCM and by
+the exact baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.graph import Graph
+from repro.linalg.laplacian import laplacian_dense
+
+
+def schur_complement(matrix: np.ndarray, keep: Sequence[int]) -> np.ndarray:
+    """Schur complement of ``matrix`` onto the index subset ``keep``.
+
+    ``S_T(M) = M_TT - M_TU inv(M_UU) M_UT`` where ``U`` is the complement of
+    ``T = keep``.  Indices of the result follow the order of ``keep``.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    n = matrix.shape[0]
+    keep = list(dict.fromkeys(int(i) for i in keep))
+    if not keep:
+        raise InvalidParameterError("keep must contain at least one index")
+    if min(keep) < 0 or max(keep) >= n:
+        raise InvalidParameterError("keep indices outside matrix range")
+    eliminate = [i for i in range(n) if i not in set(keep)]
+    if not eliminate:
+        return matrix[np.ix_(keep, keep)].copy()
+    m_tt = matrix[np.ix_(keep, keep)]
+    m_tu = matrix[np.ix_(keep, eliminate)]
+    m_ut = matrix[np.ix_(eliminate, keep)]
+    m_uu = matrix[np.ix_(eliminate, eliminate)]
+    return m_tt - m_tu @ np.linalg.solve(m_uu, m_ut)
+
+
+def schur_onto(graph: Graph, keep: Sequence[int]) -> np.ndarray:
+    """Schur complement of the graph Laplacian onto the node subset ``keep``.
+
+    The result is the Laplacian of a weighted graph on ``keep`` (rows sum to
+    zero, off-diagonals are non-positive).
+    """
+    return schur_complement(laplacian_dense(graph), keep)
+
+
+@dataclass(frozen=True)
+class GroundedBlockInverse:
+    """Blocks of ``inv(L_{-S})`` in the Eq. (11) representation.
+
+    Attributes
+    ----------
+    interior:
+        Index array ``U = V \\ (S ∪ T)`` (original node labels).
+    boundary:
+        Index array ``T`` (original node labels).
+    inv_interior:
+        ``inv(L_UU)``.
+    absorption:
+        ``F = -inv(L_UU) L_UT`` whose ``(u, t)`` entry is the probability that
+        a random walk from ``u`` hits ``t`` before any other node of ``S ∪ T``.
+    schur:
+        ``S_T(L_{-S})``.
+    inv_schur:
+        ``inv(S_T(L_{-S}))``.
+    """
+
+    interior: np.ndarray
+    boundary: np.ndarray
+    inv_interior: np.ndarray
+    absorption: np.ndarray
+    schur: np.ndarray
+    inv_schur: np.ndarray
+
+    def assemble(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Assemble the full ``inv(L_{-S})`` and the row/column node labels.
+
+        Returns
+        -------
+        (matrix, labels):
+            ``matrix[i, j]`` is ``inv(L_{-S})`` at nodes ``labels[i], labels[j]``
+            with the interior block first and the boundary block second.
+        """
+        f_m = self.absorption @ self.inv_schur
+        upper_left = self.inv_interior + f_m @ self.absorption.T
+        upper_right = f_m
+        lower_left = f_m.T
+        lower_right = self.inv_schur
+        top = np.concatenate([upper_left, upper_right], axis=1)
+        bottom = np.concatenate([lower_left, lower_right], axis=1)
+        labels = np.concatenate([self.interior, self.boundary])
+        return np.concatenate([top, bottom], axis=0), labels
+
+
+def grounded_inverse_block(graph: Graph, grounded: Sequence[int],
+                           boundary: Sequence[int]) -> GroundedBlockInverse:
+    """Exact Eq. (11) decomposition of ``inv(L_{-S})`` with extra roots ``T``.
+
+    Parameters
+    ----------
+    graph:
+        Connected graph.
+    grounded:
+        The grounded node group ``S``.
+    boundary:
+        The additional root set ``T`` (must be disjoint from ``S``).
+    """
+    grounded = sorted(set(int(v) for v in grounded))
+    boundary = sorted(set(int(v) for v in boundary))
+    if set(grounded) & set(boundary):
+        raise InvalidParameterError("S and T must be disjoint")
+    if not boundary:
+        raise InvalidParameterError("boundary set T must be non-empty")
+    excluded = set(grounded) | set(boundary)
+    interior = np.asarray([v for v in range(graph.n) if v not in excluded], dtype=np.int64)
+    boundary_arr = np.asarray(boundary, dtype=np.int64)
+
+    laplacian = laplacian_dense(graph)
+    l_uu = laplacian[np.ix_(interior, interior)]
+    l_ut = laplacian[np.ix_(interior, boundary_arr)]
+    l_tt = laplacian[np.ix_(boundary_arr, boundary_arr)]
+
+    inv_interior = np.linalg.inv(l_uu) if interior.size else np.zeros((0, 0))
+    absorption = (-inv_interior @ l_ut) if interior.size else np.zeros((0, len(boundary)))
+    # S_T(L_{-S}) = L_TT - L_TU inv(L_UU) L_UT = L_TT + L_TU F  (F = -inv(L_UU) L_UT)
+    schur = l_tt + l_ut.T @ absorption if interior.size else l_tt.copy()
+    inv_schur = np.linalg.inv(schur)
+    return GroundedBlockInverse(
+        interior=interior,
+        boundary=boundary_arr,
+        inv_interior=inv_interior,
+        absorption=absorption,
+        schur=schur,
+        inv_schur=inv_schur,
+    )
+
+
+def absorption_probabilities(graph: Graph, grounded: Sequence[int],
+                             boundary: Sequence[int]) -> Tuple[np.ndarray, np.ndarray]:
+    """Exact rooted-at-``T`` probabilities ``F_ut`` (Lemma 4.2) and interior labels.
+
+    ``F_ut`` is the probability that a random walk started at interior node
+    ``u`` is absorbed at ``t ∈ T`` rather than at any other node of ``S ∪ T``.
+    Equals the probability that ``u`` belongs to the tree rooted at ``t`` in a
+    uniform spanning forest rooted at ``S ∪ T``.
+    """
+    block = grounded_inverse_block(graph, grounded, boundary)
+    return block.absorption, block.interior

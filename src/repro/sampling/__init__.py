@@ -1,0 +1,23 @@
+"""Rooted spanning-forest sampling and adaptive stopping rules."""
+
+from repro.sampling.wilson import sample_rooted_forest, sample_many_forests
+from repro.sampling.forest import Forest
+from repro.sampling.bernstein import (
+    empirical_bernstein_bound,
+    hoeffding_bound,
+    hoeffding_sample_size,
+    AdaptiveSampler,
+)
+from repro.sampling.parallel import batched_seeds, sample_forest_batch
+
+__all__ = [
+    "sample_rooted_forest",
+    "sample_many_forests",
+    "Forest",
+    "empirical_bernstein_bound",
+    "hoeffding_bound",
+    "hoeffding_sample_size",
+    "AdaptiveSampler",
+    "batched_seeds",
+    "sample_forest_batch",
+]

@@ -1,0 +1,182 @@
+"""Concentration bounds and the adaptive sampling controller.
+
+The paper controls the number of sampled forests with two ingredients:
+
+* a conservative worst-case sample size derived from Hoeffding's inequality
+  (Lemmas 3.8-3.9), which guarantees the approximation factor; and
+* the empirical Bernstein inequality (Lemma 3.6, Audibert et al. 2007), which
+  uses the running sample variance to terminate much earlier in practice.
+
+Sampling proceeds in doubling batches; after each batch the empirical
+Bernstein half-width is compared with the requested relative error and the
+loop stops once every tracked estimate satisfies
+``err_u <= eps * (estimate_u - err_u)`` (line 17 of Algorithm 2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+
+def hoeffding_bound(count: int, value_range: float, delta: float) -> float:
+    """Hoeffding half-width for the mean of ``count`` samples in a range.
+
+    ``P(|mean - E[mean]| >= t) <= 2 exp(-2 count t^2 / range^2)``; solving for
+    the half-width at confidence ``1 - delta`` gives
+    ``t = range * sqrt(log(2/delta) / (2 count))``.
+    """
+    if count <= 0:
+        return math.inf
+    if value_range < 0:
+        raise InvalidParameterError("value_range must be non-negative")
+    if not 0 < delta < 1:
+        raise InvalidParameterError("delta must lie in (0, 1)")
+    return value_range * math.sqrt(math.log(2.0 / delta) / (2.0 * count))
+
+
+def hoeffding_sample_size(value_range: float, epsilon: float, delta: float) -> int:
+    """Samples needed for a Hoeffding half-width of ``epsilon``."""
+    if epsilon <= 0:
+        raise InvalidParameterError("epsilon must be positive")
+    if not 0 < delta < 1:
+        raise InvalidParameterError("delta must lie in (0, 1)")
+    return int(math.ceil((value_range ** 2) * math.log(2.0 / delta) / (2.0 * epsilon ** 2)))
+
+
+def empirical_bernstein_bound(count: int, variance: float, value_bound: float,
+                              delta: float) -> float:
+    """Empirical Bernstein half-width (Lemma 3.6).
+
+    ``f(n, Var, Sup, delta) = sqrt(2 Var log(3/delta) / n) + 3 Sup log(3/delta) / n``
+    """
+    if count <= 0:
+        return math.inf
+    if variance < 0:
+        variance = 0.0
+    if value_bound < 0:
+        raise InvalidParameterError("value_bound must be non-negative")
+    if not 0 < delta < 1:
+        raise InvalidParameterError("delta must lie in (0, 1)")
+    log_term = math.log(3.0 / delta)
+    return math.sqrt(2.0 * variance * log_term / count) + 3.0 * value_bound * log_term / count
+
+
+@dataclass
+class StreamingMoments:
+    """Streaming mean / variance over vector-valued samples (Welford update)."""
+
+    count: int = 0
+    mean: Optional[np.ndarray] = None
+    m2: Optional[np.ndarray] = None
+
+    def update(self, sample: np.ndarray) -> None:
+        """Add one sample vector."""
+        sample = np.asarray(sample, dtype=np.float64)
+        if self.mean is None:
+            self.mean = np.zeros_like(sample)
+            self.m2 = np.zeros_like(sample)
+        self.count += 1
+        delta = sample - self.mean
+        self.mean = self.mean + delta / self.count
+        self.m2 = self.m2 + delta * (sample - self.mean)
+
+    def update_batch(self, samples: np.ndarray) -> None:
+        """Add a ``(batch, dim)`` block of samples."""
+        for row in np.asarray(samples, dtype=np.float64):
+            self.update(row)
+
+    def variance(self) -> np.ndarray:
+        """Per-coordinate empirical variance (population convention, /n)."""
+        if self.mean is None or self.count == 0:
+            raise InvalidParameterError("no samples recorded yet")
+        return self.m2 / self.count
+
+
+@dataclass
+class AdaptiveSampler:
+    """Doubling-batch schedule with empirical-Bernstein early stopping.
+
+    Parameters
+    ----------
+    epsilon:
+        Target relative error of the tracked estimates.
+    delta:
+        Failure probability handed to the concentration bound.
+    value_bound:
+        Upper bound ``Xsup`` of a single-sample value (the paper uses the
+        graph diameter τ for voltage estimates).
+    max_samples:
+        Worst-case cap (the Hoeffding-style bound); sampling never exceeds it.
+    min_samples:
+        Lower bound before the stopping rule may fire; guards tiny-variance
+        flukes during the first few samples.
+    initial_batch:
+        Size of the first batch; subsequent batches double.
+    """
+
+    epsilon: float
+    delta: float
+    value_bound: float
+    max_samples: int
+    min_samples: int = 8
+    initial_batch: int = 16
+    moments: StreamingMoments = field(default_factory=StreamingMoments)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.epsilon < 1:
+            raise InvalidParameterError("epsilon must lie in (0, 1)")
+        if not 0 < self.delta < 1:
+            raise InvalidParameterError("delta must lie in (0, 1)")
+        if self.max_samples < 1:
+            raise InvalidParameterError("max_samples must be >= 1")
+        self.min_samples = max(1, min(self.min_samples, self.max_samples))
+        self.initial_batch = max(1, self.initial_batch)
+
+    # ---------------------------------------------------------------- schedule
+    def batch_sizes(self) -> Iterable[int]:
+        """Yield batch sizes (doubling) until ``max_samples`` is reached."""
+        emitted = 0
+        batch = self.initial_batch
+        while emitted < self.max_samples:
+            size = min(batch, self.max_samples - emitted)
+            yield size
+            emitted += size
+            batch *= 2
+
+    # ---------------------------------------------------------------- tracking
+    def record(self, samples: np.ndarray) -> None:
+        """Record a batch of per-sample estimate vectors (shape ``(b, dim)``)."""
+        self.moments.update_batch(np.atleast_2d(samples))
+
+    def half_widths(self) -> np.ndarray:
+        """Empirical-Bernstein half-width of every tracked coordinate."""
+        count = self.moments.count
+        variance = self.moments.variance()
+        log_term = math.log(3.0 / self.delta)
+        return (np.sqrt(2.0 * variance * log_term / count)
+                + 3.0 * self.value_bound * log_term / count)
+
+    def should_stop(self) -> bool:
+        """Line-17 stopping rule: every coordinate meets its relative target."""
+        if self.moments.count < self.min_samples:
+            return False
+        estimates = self.moments.mean
+        widths = self.half_widths()
+        # Relative criterion eps' <= eps (estimate - eps'); estimates can be
+        # near zero (or negative due to noise), in which case keep sampling
+        # unless the absolute width itself is already tiny.
+        slack = estimates - widths
+        relative_ok = widths <= self.epsilon * np.maximum(slack, 0.0)
+        absolute_ok = widths <= self.epsilon * 1e-12
+        return bool(np.all(relative_ok | absolute_ok))
+
+    @property
+    def samples_used(self) -> int:
+        """Number of samples recorded so far."""
+        return self.moments.count

@@ -1,0 +1,248 @@
+"""Rooted spanning-forest data structure.
+
+A :class:`Forest` stores the parent pointers produced by Wilson's algorithm
+(Algorithm 1 of the paper) for a root set ``S`` and provides the derived
+quantities the estimators need:
+
+* the root of every node (``ρ_u`` in the paper's notation);
+* node depths and a children-before-parents processing order;
+* Euler-tour intervals for O(1) "is ``a`` an ancestor of ``u``" queries;
+* vectorised subtree aggregation of per-node weight vectors (the quantity
+  ``Σ_{v ∈ subtree(x)} W_jv`` that drives the JL-projected estimators).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import GraphError
+
+
+@dataclass
+class Forest:
+    """A spanning forest of a graph rooted at a node set.
+
+    Attributes
+    ----------
+    parent:
+        ``parent[u]`` is the forest parent of ``u`` (``-1`` for roots).
+    roots:
+        Sorted array of root nodes (the root set ``S`` of the sample).
+    """
+
+    parent: np.ndarray
+    roots: np.ndarray
+    _root_of: Optional[np.ndarray] = field(default=None, repr=False)
+    _depth: Optional[np.ndarray] = field(default=None, repr=False)
+    _order: Optional[np.ndarray] = field(default=None, repr=False)
+    _tin: Optional[np.ndarray] = field(default=None, repr=False)
+    _tout: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.parent = np.asarray(self.parent, dtype=np.int64)
+        self.roots = np.asarray(sorted(int(r) for r in self.roots), dtype=np.int64)
+        n = self.parent.size
+        if self.roots.size == 0:
+            raise GraphError("a rooted forest needs at least one root")
+        if self.roots.min() < 0 or self.roots.max() >= n:
+            raise GraphError("forest roots outside node range")
+        if np.any(self.parent[self.roots] != -1):
+            raise GraphError("roots must have parent -1")
+
+    # -------------------------------------------------------------- properties
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return int(self.parent.size)
+
+    def is_root(self, node: int) -> bool:
+        """Whether ``node`` is a root."""
+        return self.parent[node] < 0
+
+    # ------------------------------------------------------------ derived data
+    def depths(self) -> np.ndarray:
+        """Depth of every node (roots have depth 0)."""
+        if self._depth is None:
+            self._compute_orders()
+        return self._depth
+
+    def root_of(self) -> np.ndarray:
+        """``root_of()[u]`` is the root of the tree containing ``u`` (ρ_u)."""
+        if self._root_of is None:
+            self._compute_orders()
+        return self._root_of
+
+    def topological_order(self) -> np.ndarray:
+        """Nodes ordered so that every parent precedes its children."""
+        if self._order is None:
+            self._compute_orders()
+        return self._order
+
+    def euler_intervals(self) -> tuple[np.ndarray, np.ndarray]:
+        """Euler-tour entry/exit times ``(tin, tout)``.
+
+        ``a`` is an ancestor of ``u`` (or equal) iff
+        ``tin[a] <= tin[u] <= tout[a]``.
+        """
+        if self._tin is None:
+            self._compute_euler()
+        return self._tin, self._tout
+
+    def is_ancestor(self, ancestor: int, node: int) -> bool:
+        """Whether ``ancestor`` lies on the path from ``node`` to its root."""
+        tin, tout = self.euler_intervals()
+        return bool(tin[ancestor] <= tin[node] <= tout[ancestor])
+
+    def path_to_root(self, node: int) -> List[int]:
+        """Nodes on the path from ``node`` (inclusive) to its root (inclusive)."""
+        path = [int(node)]
+        current = int(node)
+        while self.parent[current] >= 0:
+            current = int(self.parent[current])
+            path.append(current)
+        return path
+
+    def tree_sizes(self) -> dict:
+        """Mapping root -> number of nodes in its tree (roots included)."""
+        counts: dict = {int(r): 0 for r in self.roots}
+        root_of = self.root_of()
+        for root in root_of:
+            counts[int(root)] += 1
+        return counts
+
+    # ------------------------------------------------------------- aggregation
+    def subtree_sums(self, weights: np.ndarray) -> np.ndarray:
+        """Sum of ``weights`` over each node's forest subtree.
+
+        Parameters
+        ----------
+        weights:
+            Either a ``(n,)`` vector or a ``(w, n)`` matrix of per-node
+            weights (one row per JL direction).
+
+        Returns
+        -------
+        Array of the same shape whose entry for node ``x`` is
+        ``Σ_{v ∈ subtree(x)} weights[..., v]``.  Root nodes include their own
+        weight and all their descendants.
+
+        The computation processes depth levels from the deepest up, adding
+        each level's accumulated values onto the parents with ``np.add.at``,
+        so the Python-level loop is only over the forest height.
+        """
+        weights = np.asarray(weights, dtype=np.float64)
+        single = weights.ndim == 1
+        if single:
+            weights = weights[None, :]
+        if weights.shape[1] != self.n:
+            raise GraphError(
+                f"weights must have {self.n} columns, got {weights.shape[1]}"
+            )
+        totals = weights.copy()
+        depth = self.depths()
+        max_depth = int(depth.max()) if depth.size else 0
+        for level in range(max_depth, 0, -1):
+            nodes = np.flatnonzero(depth == level)
+            if nodes.size == 0:
+                continue
+            parents = self.parent[nodes]
+            np.add.at(totals.T, parents, totals[:, nodes].T)
+        return totals[0] if single else totals
+
+    def subtree_sizes(self) -> np.ndarray:
+        """Number of nodes in each node's subtree (itself included)."""
+        return self.subtree_sums(np.ones(self.n)).astype(np.int64)
+
+    # -------------------------------------------------------------- validation
+    def validate_against(self, graph) -> None:
+        """Check that the forest is a valid rooted spanning forest of ``graph``.
+
+        * every non-root parent pointer follows a graph edge,
+        * there are no cycles (every node reaches a root),
+        * every root belongs to the declared root set.
+        """
+        n = self.n
+        if graph.n != n:
+            raise GraphError("forest and graph have different node counts")
+        root_set = set(int(r) for r in self.roots)
+        for u in range(n):
+            p = int(self.parent[u])
+            if p < 0:
+                if u not in root_set:
+                    raise GraphError(f"node {u} has no parent but is not a root")
+                continue
+            if not graph.has_edge(u, p):
+                raise GraphError(f"forest edge ({u}, {p}) is not a graph edge")
+        # Cycle check: walking up from any node must terminate within n steps.
+        for u in range(n):
+            current, steps = u, 0
+            while self.parent[current] >= 0:
+                current = int(self.parent[current])
+                steps += 1
+                if steps > n:
+                    raise GraphError(f"cycle detected while walking up from node {u}")
+            if current not in root_set:
+                raise GraphError(f"node {u} does not reach a declared root")
+
+    # --------------------------------------------------------------- internals
+    def _compute_orders(self) -> None:
+        """Depths, roots and a parents-first order via pointer doubling.
+
+        Pointer doubling keeps everything inside NumPy fancy indexing
+        (O(n log depth) work), which matters because a fresh forest is
+        processed for every Monte Carlo sample.
+        """
+        n = self.n
+        # Self-loop the roots so jumps saturate there.
+        pointer = np.where(self.parent < 0, np.arange(n), self.parent)
+        distance = (self.parent >= 0).astype(np.int64)
+        for _ in range(max(int(np.ceil(np.log2(max(n, 2)))), 1) + 1):
+            next_pointer = pointer[pointer]
+            if np.array_equal(next_pointer, pointer):
+                break
+            distance = distance + distance[pointer]
+            pointer = next_pointer
+        depth = distance
+        root_of = pointer
+        root_set = set(int(r) for r in self.roots)
+        bad = [u for u in np.flatnonzero(self.parent < 0) if int(u) not in root_set]
+        if bad:
+            raise GraphError(f"node {bad[0]} has no parent but is not a root")
+        if not set(int(r) for r in np.unique(root_of)) <= root_set:
+            missing = int(np.flatnonzero(~np.isin(root_of, self.roots))[0])
+            raise GraphError(f"node {missing} unreachable from any root")
+        self._depth = depth
+        self._root_of = root_of
+        self._order = np.argsort(depth, kind="stable").astype(np.int64)
+
+    def _compute_euler(self) -> None:
+        n = self.n
+        children: List[List[int]] = [[] for _ in range(n)]
+        for u in range(n):
+            p = int(self.parent[u])
+            if p >= 0:
+                children[p].append(u)
+        tin = np.zeros(n, dtype=np.int64)
+        tout = np.zeros(n, dtype=np.int64)
+        clock = 0
+        for root in self.roots:
+            stack: List[tuple] = [(int(root), iter(children[int(root)]))]
+            tin[root] = clock
+            clock += 1
+            while stack:
+                node, child_iter = stack[-1]
+                advanced = False
+                for child in child_iter:
+                    tin[child] = clock
+                    clock += 1
+                    stack.append((child, iter(children[child])))
+                    advanced = True
+                    break
+                if not advanced:
+                    tout[node] = clock
+                    clock += 1
+                    stack.pop()
+        self._tin, self._tout = tin, tout

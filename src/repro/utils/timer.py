@@ -1,0 +1,62 @@
+"""Small timing helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer.
+
+    Example
+    -------
+    >>> timer = Timer()
+    >>> with timer.measure("phase"):
+    ...     _ = sum(range(10))
+    >>> timer.total("phase") >= 0.0
+    True
+    """
+
+    records: Dict[str, List[float]] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, label: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.records.setdefault(label, []).append(elapsed)
+
+    def total(self, label: str) -> float:
+        """Total seconds recorded under ``label`` (0.0 when never measured)."""
+        return float(sum(self.records.get(label, ())))
+
+    def count(self, label: str) -> int:
+        """Number of measurements recorded under ``label``."""
+        return len(self.records.get(label, ()))
+
+    def summary(self) -> Dict[str, float]:
+        """Mapping of label to total elapsed seconds."""
+        return {label: self.total(label) for label in self.records}
+
+
+@contextmanager
+def timed() -> Iterator[List[float]]:
+    """Context manager yielding a one-element list filled with elapsed seconds.
+
+    >>> with timed() as elapsed:
+    ...     _ = sum(range(100))
+    >>> elapsed[0] >= 0.0
+    True
+    """
+    box: List[float] = [0.0]
+    start = time.perf_counter()
+    try:
+        yield box
+    finally:
+        box[0] = time.perf_counter() - start

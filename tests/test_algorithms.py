@@ -1,0 +1,258 @@
+"""Tests for the CFCM algorithms: exact greedy, ApproxGreedy, ForestCFCM, SchurCFCM."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.graph import datasets, generators
+from repro.centrality.api import maximize_cfcc
+from repro.centrality.approx_greedy import ApproxGreedy
+from repro.centrality.cfcc import group_cfcc
+from repro.centrality.estimators import SamplingConfig
+from repro.centrality.exact_greedy import ExactGreedy
+from repro.centrality.forest_cfcm import ForestCFCM, forest_delta
+from repro.centrality.heuristics import degree_group, top_cfcc_group
+from repro.centrality.marginal import marginal_gains_all
+from repro.centrality.optimum import optimum_cfcm
+from repro.centrality.schur_cfcm import SchurCFCM, choose_extra_roots, schur_delta
+from repro.linalg.pseudoinverse import pseudoinverse_diagonal
+
+FAST_CONFIG = SamplingConfig(eps=0.3, max_samples=160, min_samples=16,
+                             initial_batch=16, max_jl_dimension=64)
+
+
+def assert_valid_group(result, graph, k):
+    assert len(result.group) == k
+    assert len(set(result.group)) == k
+    assert all(0 <= v < graph.n for v in result.group)
+
+
+class TestExactGreedy:
+    def test_group_validity(self, karate):
+        result = ExactGreedy(karate).run(4)
+        assert_valid_group(result, karate, 4)
+
+    def test_first_pick_minimises_pseudoinverse_diagonal(self, karate):
+        result = ExactGreedy(karate).run(1)
+        diag = pseudoinverse_diagonal(karate)
+        assert result.group[0] == int(np.argmin(diag))
+
+    def test_each_pick_maximises_marginal_gain(self, karate):
+        result = ExactGreedy(karate).run(3)
+        group = [result.group[0]]
+        for node in result.group[1:]:
+            gains = marginal_gains_all(karate, group)
+            best = max(gains.values())
+            assert gains[node] == pytest.approx(best, rel=1e-9)
+            group.append(node)
+
+    def test_cfcc_monotone_along_prefixes(self, karate):
+        result = ExactGreedy(karate).run(5)
+        values = [group_cfcc(karate, result.prefix(k)) for k in range(1, 6)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_matches_optimum_on_tiny_graph(self):
+        graph = datasets.zebra_substitute()
+        greedy = ExactGreedy(graph).run(2)
+        best = optimum_cfcm(graph, 2)
+        greedy_value = group_cfcc(graph, greedy.group)
+        assert greedy_value >= 0.95 * best.cfcc
+
+    def test_invalid_k(self, karate):
+        with pytest.raises(InvalidParameterError):
+            ExactGreedy(karate).run(0)
+        with pytest.raises(InvalidParameterError):
+            ExactGreedy(karate).run(karate.n)
+
+    def test_iteration_log(self, karate):
+        result = ExactGreedy(karate).run(3)
+        assert len(result.iteration_log) == 3
+        assert result.iteration_log[0]["iteration"] == 0
+
+
+class TestApproxGreedy:
+    def test_group_validity(self, karate):
+        result = ApproxGreedy(karate, eps=0.3, seed=0).run(4)
+        assert_valid_group(result, karate, 4)
+
+    def test_close_to_exact(self, small_ba):
+        exact_value = group_cfcc(small_ba, ExactGreedy(small_ba).run(4).group)
+        approx_value = group_cfcc(small_ba, ApproxGreedy(small_ba, eps=0.2, seed=1).run(4).group)
+        assert approx_value >= 0.9 * exact_value
+
+    def test_reproducible(self, karate):
+        a = ApproxGreedy(karate, eps=0.3, seed=7).run(3)
+        b = ApproxGreedy(karate, eps=0.3, seed=7).run(3)
+        assert a.group == b.group
+
+    def test_records_solve_counts(self, karate):
+        result = ApproxGreedy(karate, eps=0.3, seed=0).run(2)
+        assert all("solves" in entry for entry in result.iteration_log)
+
+
+class TestForestCFCM:
+    def test_group_validity(self, karate):
+        result = ForestCFCM(karate, seed=0, config=FAST_CONFIG).run(4)
+        assert_valid_group(result, karate, 4)
+
+    def test_close_to_exact(self, small_ba):
+        exact_value = group_cfcc(small_ba, ExactGreedy(small_ba).run(4).group)
+        forest_value = group_cfcc(
+            small_ba, ForestCFCM(small_ba, seed=2, config=FAST_CONFIG).run(4).group
+        )
+        assert forest_value >= 0.85 * exact_value
+
+    def test_reproducible(self, karate):
+        a = ForestCFCM(karate, seed=9, config=FAST_CONFIG).run(3)
+        b = ForestCFCM(karate, seed=9, config=FAST_CONFIG).run(3)
+        assert a.group == b.group
+
+    def test_samples_recorded(self, karate):
+        result = ForestCFCM(karate, seed=0, config=FAST_CONFIG).run(2)
+        assert result.samples_used() > 0
+
+    def test_forest_delta_function(self, karate):
+        gains = forest_delta(karate, [0], eps=0.3, seed=0,
+                             config=FAST_CONFIG)
+        assert set(gains) == set(range(1, karate.n))
+        assert all(value > 0 for value in gains.values())
+
+    def test_forest_delta_requires_group(self, karate):
+        with pytest.raises(InvalidParameterError):
+            forest_delta(karate, [], eps=0.3)
+
+
+class TestSchurCFCM:
+    def test_group_validity(self, karate):
+        result = SchurCFCM(karate, seed=0, config=FAST_CONFIG).run(4)
+        assert_valid_group(result, karate, 4)
+
+    def test_close_to_exact(self, small_ba):
+        exact_value = group_cfcc(small_ba, ExactGreedy(small_ba).run(4).group)
+        schur_value = group_cfcc(
+            small_ba, SchurCFCM(small_ba, seed=3, config=FAST_CONFIG).run(4).group
+        )
+        assert schur_value >= 0.85 * exact_value
+
+    def test_reproducible(self, karate):
+        a = SchurCFCM(karate, seed=4, config=FAST_CONFIG).run(3)
+        b = SchurCFCM(karate, seed=4, config=FAST_CONFIG).run(3)
+        assert a.group == b.group
+
+    def test_extra_roots_recorded(self, karate):
+        result = SchurCFCM(karate, seed=0, config=FAST_CONFIG).run(2)
+        assert len(result.parameters["extra_roots"]) >= 1
+
+    def test_explicit_extra_roots(self, karate):
+        result = SchurCFCM(karate, seed=0, config=FAST_CONFIG,
+                           extra_roots=[33, 0, 2]).run(3)
+        assert_valid_group(result, karate, 3)
+
+    def test_schur_delta_function(self, karate):
+        gains = schur_delta(karate, [0], [33, 32], eps=0.3, seed=0,
+                            config=FAST_CONFIG)
+        assert set(gains) == set(range(1, karate.n))
+
+    def test_schur_delta_requires_group(self, karate):
+        with pytest.raises(InvalidParameterError):
+            schur_delta(karate, [], [33], eps=0.3)
+
+    def test_choose_extra_roots_highest_degree(self, karate):
+        roots = choose_extra_roots(karate, size=3)
+        top = list(np.argsort(-karate.degrees, kind="stable")[:3])
+        assert roots == [int(v) for v in top]
+
+    def test_choose_extra_roots_automatic(self, karate):
+        roots = choose_extra_roots(karate)
+        assert len(roots) >= 1
+        assert len(roots) <= karate.n - 1
+
+
+class TestHeuristics:
+    def test_degree_group_selects_top_degrees(self, karate):
+        result = degree_group(karate, 3)
+        top = set(int(v) for v in np.argsort(-karate.degrees, kind="stable")[:3])
+        assert set(result.group) == top
+
+    def test_top_cfcc_group(self, karate):
+        result = top_cfcc_group(karate, 3)
+        assert len(result.group) == 3
+        # The single most central node must be included.
+        from repro.centrality.cfcc import single_cfcc_all
+
+        best = int(np.argmax(single_cfcc_all(karate)))
+        assert best in result.group
+
+    def test_heuristics_weaker_than_greedy(self, small_ba):
+        """On scale-free graphs the greedy group beats the top-degree group."""
+        exact_value = group_cfcc(small_ba, ExactGreedy(small_ba).run(6).group)
+        degree_value = group_cfcc(small_ba, degree_group(small_ba, 6).group)
+        assert exact_value >= degree_value - 1e-9
+
+
+class TestOptimum:
+    def test_optimum_beats_or_matches_everything(self):
+        graph = datasets.zebra_substitute()
+        best = optimum_cfcm(graph, 2)
+        for method_result in (
+            ExactGreedy(graph).run(2),
+            degree_group(graph, 2),
+            top_cfcc_group(graph, 2),
+        ):
+            assert best.cfcc >= group_cfcc(graph, method_result.group) - 1e-9
+
+    def test_optimum_k1_matches_single_cfcc(self, karate):
+        best = optimum_cfcm(karate, 1)
+        from repro.centrality.cfcc import single_cfcc_all
+
+        # Maximising C(S) for |S| = 1 minimises L+_uu, i.e. maximises C(u).
+        assert best.group[0] == int(np.argmax(single_cfcc_all(karate)))
+
+    def test_candidate_cap(self, medium_ba):
+        with pytest.raises(InvalidParameterError):
+            optimum_cfcm(medium_ba, 5, max_candidates=1000)
+
+
+class TestMaximizeCFCCApi:
+    @pytest.mark.parametrize("method", ["exact", "approx", "forest", "schur",
+                                        "degree", "top-cfcc"])
+    def test_all_methods_dispatch(self, karate, method):
+        result = maximize_cfcc(karate, 3, method=method, eps=0.3, seed=0,
+                               config=FAST_CONFIG if method in ("forest", "schur") else None)
+        assert_valid_group(result, karate, 3)
+        assert result.method == method
+
+    def test_optimum_dispatch(self):
+        graph = datasets.zebra_substitute()
+        result = maximize_cfcc(graph, 2, method="optimum")
+        assert result.method == "optimum"
+        assert result.cfcc is not None
+
+    def test_unknown_method(self, karate):
+        with pytest.raises(InvalidParameterError):
+            maximize_cfcc(karate, 2, method="quantum")
+
+    def test_evaluate_flag(self, karate):
+        result = maximize_cfcc(karate, 2, method="degree", evaluate=True)
+        assert result.cfcc == pytest.approx(group_cfcc(karate, result.group))
+
+    def test_evaluate_estimate_flag(self, karate):
+        result = maximize_cfcc(karate, 2, method="degree", evaluate="estimate")
+        assert result.cfcc == pytest.approx(group_cfcc(karate, result.group), rel=0.25)
+
+
+class TestAlgorithmAgreementOnTinyGraphs:
+    """Fig. 1-style check: every greedy variant lands near the optimum."""
+
+    @pytest.mark.parametrize("graph_name", ["Zebra*", "Karate"])
+    def test_near_optimal(self, graph_name):
+        graph = datasets.tiny_suite()[graph_name]
+        k = 3
+        best = optimum_cfcm(graph, k).cfcc
+        for method in ("exact", "approx", "forest", "schur"):
+            result = maximize_cfcc(
+                graph, k, method=method, eps=0.2, seed=1,
+                config=SamplingConfig(eps=0.2, max_samples=256) if method in ("forest", "schur") else None,
+            )
+            value = group_cfcc(graph, result.group)
+            assert value >= 0.9 * best

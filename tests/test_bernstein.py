@@ -1,0 +1,150 @@
+"""Tests for concentration bounds and the adaptive sampling controller."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.sampling.bernstein import (
+    AdaptiveSampler,
+    StreamingMoments,
+    empirical_bernstein_bound,
+    hoeffding_bound,
+    hoeffding_sample_size,
+)
+
+
+class TestHoeffding:
+    def test_bound_formula(self):
+        bound = hoeffding_bound(count=100, value_range=1.0, delta=0.05)
+        assert bound == pytest.approx(math.sqrt(math.log(2 / 0.05) / 200))
+
+    def test_bound_decreases_with_samples(self):
+        assert hoeffding_bound(400, 1.0, 0.1) < hoeffding_bound(100, 1.0, 0.1)
+
+    def test_bound_infinite_without_samples(self):
+        assert hoeffding_bound(0, 1.0, 0.1) == math.inf
+
+    def test_sample_size_inverse(self):
+        size = hoeffding_sample_size(value_range=2.0, epsilon=0.1, delta=0.05)
+        assert hoeffding_bound(size, 2.0, 0.05) <= 0.1 + 1e-9
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            hoeffding_bound(10, -1.0, 0.1)
+        with pytest.raises(InvalidParameterError):
+            hoeffding_bound(10, 1.0, 0.0)
+        with pytest.raises(InvalidParameterError):
+            hoeffding_sample_size(1.0, 0.0, 0.1)
+
+
+class TestEmpiricalBernstein:
+    def test_formula(self):
+        bound = empirical_bernstein_bound(count=50, variance=0.2, value_bound=3.0,
+                                          delta=0.1)
+        log_term = math.log(3 / 0.1)
+        expected = math.sqrt(2 * 0.2 * log_term / 50) + 3 * 3.0 * log_term / 50
+        assert bound == pytest.approx(expected)
+
+    def test_zero_variance_still_positive(self):
+        assert empirical_bernstein_bound(100, 0.0, 1.0, 0.1) > 0
+
+    def test_tighter_than_hoeffding_for_low_variance(self):
+        """The Bernstein bound wins when the empirical variance is small."""
+        count, value_bound, delta = 2000, 10.0, 0.05
+        bernstein = empirical_bernstein_bound(count, 0.01, value_bound, delta)
+        hoeffding = hoeffding_bound(count, value_bound, delta)
+        assert bernstein < hoeffding
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            empirical_bernstein_bound(10, 0.1, -1.0, 0.1)
+        with pytest.raises(InvalidParameterError):
+            empirical_bernstein_bound(10, 0.1, 1.0, 1.5)
+
+    def test_infinite_without_samples(self):
+        assert empirical_bernstein_bound(0, 0.1, 1.0, 0.1) == math.inf
+
+
+class TestStreamingMoments:
+    def test_mean_and_variance_match_numpy(self, rng):
+        samples = rng.normal(size=(200, 4))
+        moments = StreamingMoments()
+        moments.update_batch(samples)
+        assert moments.count == 200
+        assert np.allclose(moments.mean, samples.mean(axis=0))
+        assert np.allclose(moments.variance(), samples.var(axis=0), atol=1e-10)
+
+    def test_incremental_equals_batch(self, rng):
+        samples = rng.normal(size=(50, 3))
+        one = StreamingMoments()
+        two = StreamingMoments()
+        one.update_batch(samples)
+        for row in samples:
+            two.update(row)
+        assert np.allclose(one.mean, two.mean)
+        assert np.allclose(one.variance(), two.variance())
+
+    def test_variance_requires_samples(self):
+        with pytest.raises(InvalidParameterError):
+            StreamingMoments().variance()
+
+
+class TestAdaptiveSampler:
+    def make_sampler(self, **kwargs):
+        defaults = dict(epsilon=0.2, delta=0.05, value_bound=1.0,
+                        max_samples=1024, min_samples=8, initial_batch=8)
+        defaults.update(kwargs)
+        return AdaptiveSampler(**defaults)
+
+    def test_batches_double_and_respect_cap(self):
+        sampler = self.make_sampler(max_samples=100, initial_batch=16)
+        sizes = list(sampler.batch_sizes())
+        assert sizes[0] == 16 and sizes[1] == 32
+        assert sum(sizes) == 100
+
+    def test_stops_on_low_variance_stream(self, rng):
+        sampler = self.make_sampler()
+        stopped = False
+        for batch in sampler.batch_sizes():
+            samples = 0.5 + 0.001 * rng.normal(size=(batch, 3))
+            sampler.record(np.clip(samples, 0.0, 1.0))
+            if sampler.should_stop():
+                stopped = True
+                break
+        assert stopped
+        assert sampler.samples_used < sampler.max_samples
+
+    def test_does_not_stop_before_min_samples(self, rng):
+        sampler = self.make_sampler(min_samples=64)
+        sampler.record(np.full((8, 2), 0.5))
+        assert not sampler.should_stop()
+
+    def test_high_variance_keeps_sampling(self, rng):
+        sampler = self.make_sampler(epsilon=0.01, max_samples=64)
+        for batch in sampler.batch_sizes():
+            sampler.record(rng.random((batch, 2)))
+            if sampler.should_stop():
+                break
+        assert sampler.samples_used == 64
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            self.make_sampler(epsilon=0.0)
+        with pytest.raises(InvalidParameterError):
+            self.make_sampler(delta=2.0)
+        with pytest.raises(InvalidParameterError):
+            self.make_sampler(max_samples=0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=10_000),
+       st.floats(min_value=0.0, max_value=100.0),
+       st.floats(min_value=0.01, max_value=100.0),
+       st.floats(min_value=0.001, max_value=0.999))
+def test_bernstein_bound_monotone_in_count(count, variance, value_bound, delta):
+    larger = empirical_bernstein_bound(count, variance, value_bound, delta)
+    smaller = empirical_bernstein_bound(count * 2, variance, value_bound, delta)
+    assert smaller <= larger + 1e-12

@@ -1,0 +1,65 @@
+"""Smoke tests executing the example scripts on miniature inputs."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(script: str, argv: list, capsys) -> str:
+    """Execute an example script with patched ``sys.argv`` and return stdout."""
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"example {script} missing"
+    old_argv = sys.argv
+    sys.argv = [str(path)] + argv
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+@pytest.mark.slow
+def test_quickstart_example(capsys):
+    output = run_example("quickstart.py",
+                         ["--nodes", "120", "--k", "3", "--eps", "0.35"], capsys)
+    assert "Graph: " in output
+    assert "schur" in output
+    assert "exact" in output
+
+
+@pytest.mark.slow
+def test_sensor_placement_example(capsys):
+    output = run_example("sensor_placement.py",
+                         ["--nodes", "120", "--sensors", "3", "--radius", "0.2"],
+                         capsys)
+    assert "SchurCFCM" in output
+    assert "group CFCC" in output
+
+
+@pytest.mark.slow
+def test_p2p_resource_placement_example(capsys):
+    output = run_example("p2p_resource_placement.py",
+                         ["--peers", "120", "--replicas", "3"], capsys)
+    assert "ForestCFCM" in output
+    assert "mean hops" in output
+
+
+@pytest.mark.slow
+def test_power_grid_example(capsys):
+    output = run_example("power_grid_vulnerability.py",
+                         ["--buses", "100", "--group", "3"], capsys)
+    assert "SchurCFCM group" in output
+    assert "Kirchhoff" in output or "post-removal" in output
+
+
+@pytest.mark.slow
+def test_point_cloud_example(capsys):
+    output = run_example("point_cloud_sampling.py",
+                         ["--points", "150", "--samples", "4", "--neighbours", "5"],
+                         capsys)
+    assert "Point cloud" in output
+    assert "coverage error" in output

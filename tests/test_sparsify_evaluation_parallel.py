@@ -1,0 +1,173 @@
+"""Tests for the sparsification substrate, evaluation metrics and batch sampling."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.graph import generators
+from repro.centrality.evaluation import (
+    approximation_ratio,
+    compare_methods,
+    effectiveness_curve,
+    group_overlap,
+    ranking_agreement,
+    relative_difference,
+    top_candidate_recall,
+)
+from repro.centrality.estimators import SamplingConfig, estimate_forest_delta
+from repro.centrality.exact_greedy import ExactGreedy
+from repro.centrality.heuristics import degree_group
+from repro.centrality.marginal import marginal_gains_all
+from repro.linalg.laplacian import laplacian_dense
+from repro.linalg.sparsify import (
+    effective_resistances_of_edges,
+    spectral_relative_error,
+    spectral_sparsify,
+    sparsify_and_compare,
+)
+from repro.sampling.parallel import batched_seeds, sample_forest_batch
+
+
+class TestSparsify:
+    def test_edge_resistances_match_pairwise(self, karate):
+        from repro.centrality.resistance import resistance_distance
+
+        resistances = effective_resistances_of_edges(karate)
+        for index in (0, 10, 50):
+            u, v = int(karate.edge_u[index]), int(karate.edge_v[index])
+            assert resistances[index] == pytest.approx(
+                resistance_distance(karate, u, v), rel=1e-8
+            )
+
+    def test_sparsifier_laplacian_unbiased_shape(self, karate):
+        sparsifier = spectral_sparsify(karate, eps=0.5, seed=0)
+        laplacian = sparsifier.laplacian()
+        assert laplacian.shape == (karate.n, karate.n)
+        assert np.allclose(np.asarray(laplacian.sum(axis=1)).ravel(), 0.0, atol=1e-9)
+
+    def test_sparsifier_quadratic_forms_close(self, karate):
+        """Lemma 4.4 shape: x^T L~ x stays within a moderate factor of x^T L x."""
+        sparsifier = spectral_sparsify(karate, eps=0.3, seed=1)
+        error = spectral_relative_error(karate, sparsifier, probes=32, seed=2)
+        assert error < 0.5
+
+    def test_more_samples_better_accuracy(self, small_ba):
+        rough = spectral_sparsify(small_ba, eps=0.9, samples=200, seed=3)
+        fine = spectral_sparsify(small_ba, eps=0.9, samples=20_000, seed=3)
+        rough_error = spectral_relative_error(small_ba, rough, probes=16, seed=4)
+        fine_error = spectral_relative_error(small_ba, fine, probes=16, seed=4)
+        assert fine_error < rough_error
+
+    def test_sparsifier_expected_laplacian(self, karate):
+        """Averaging many independent sparsifiers recovers the Laplacian."""
+        total = np.zeros((karate.n, karate.n))
+        repeats = 30
+        for i in range(repeats):
+            total += spectral_sparsify(karate, eps=0.9, samples=400,
+                                       seed=i).laplacian().toarray()
+        average = total / repeats
+        exact = laplacian_dense(karate)
+        assert np.abs(average - exact).max() < 2.0
+
+    def test_convenience_wrapper(self, karate):
+        sparsifier, error = sparsify_and_compare(karate, eps=0.4, seed=5)
+        assert sparsifier.samples > 0
+        assert error >= 0.0
+
+    def test_invalid_inputs(self, karate):
+        with pytest.raises(InvalidParameterError):
+            spectral_sparsify(karate, eps=1.5)
+        with pytest.raises(InvalidParameterError):
+            spectral_relative_error(karate, spectral_sparsify(karate, seed=0), probes=0)
+
+
+class TestEvaluationMetrics:
+    def test_relative_difference(self):
+        assert relative_difference(2.0, 1.5) == pytest.approx(0.25)
+        assert relative_difference(2.0, 2.5) == 0.0
+        with pytest.raises(InvalidParameterError):
+            relative_difference(0.0, 1.0)
+
+    def test_approximation_ratio(self):
+        assert approximation_ratio(4.0, 3.0) == pytest.approx(0.75)
+        with pytest.raises(InvalidParameterError):
+            approximation_ratio(0.0, 1.0)
+
+    def test_group_overlap(self):
+        assert group_overlap([1, 2, 3], [2, 3, 4]) == pytest.approx(0.5)
+        assert group_overlap([], []) == 1.0
+        assert group_overlap([1], [2]) == 0.0
+
+    def test_ranking_agreement_perfect_and_reversed(self):
+        reference = {1: 1.0, 2: 2.0, 3: 3.0, 4: 4.0}
+        assert ranking_agreement(reference, reference) == pytest.approx(1.0)
+        reversed_scores = {k: -v for k, v in reference.items()}
+        assert ranking_agreement(reference, reversed_scores) == pytest.approx(-1.0)
+
+    def test_ranking_agreement_requires_overlap(self):
+        with pytest.raises(InvalidParameterError):
+            ranking_agreement({1: 1.0}, {2: 2.0})
+
+    def test_top_candidate_recall(self):
+        reference = {i: float(i) for i in range(10)}
+        estimate = {i: float(i) for i in range(10)}
+        estimate[9], estimate[0] = 0.5, 9.5  # swap the best and the worst
+        assert top_candidate_recall(reference, estimate, top=3) == pytest.approx(2 / 3)
+        with pytest.raises(InvalidParameterError):
+            top_candidate_recall(reference, estimate, top=0)
+
+    def test_sampled_gains_rank_like_exact(self, karate):
+        """Integration: ForestDelta's ranking agrees strongly with the exact gains."""
+        group = [33]
+        exact = marginal_gains_all(karate, group)
+        config = SamplingConfig(eps=0.2, max_samples=400, max_jl_dimension=96)
+        estimate, _ = estimate_forest_delta(karate, group, config, seed=9)
+        assert ranking_agreement(exact, estimate) > 0.6
+        assert top_candidate_recall(exact, estimate, top=5) >= 0.6
+
+    def test_effectiveness_curve_monotone(self, small_ba):
+        result = ExactGreedy(small_ba).run(4)
+        curve = effectiveness_curve(small_ba, result)
+        values = [curve[k] for k in sorted(curve)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_compare_methods_summary(self, karate):
+        results = {
+            "exact": ExactGreedy(karate).run(3),
+            "degree": degree_group(karate, 3),
+        }
+        summary = compare_methods(karate, results, reference="exact")
+        assert summary["exact"]["relative_difference"] == 0.0
+        assert 0.0 <= summary["degree"]["overlap_with_reference"] <= 1.0
+
+    def test_compare_methods_missing_reference(self, karate):
+        with pytest.raises(InvalidParameterError):
+            compare_methods(karate, {"degree": degree_group(karate, 2)},
+                            reference="exact")
+
+
+class TestParallelSampling:
+    def test_batched_seeds_reproducible(self):
+        assert batched_seeds(7, 5) == batched_seeds(7, 5)
+        assert len(set(batched_seeds(7, 50))) == 50
+        with pytest.raises(InvalidParameterError):
+            batched_seeds(7, -1)
+
+    def test_sequential_batch_valid(self, karate):
+        forests = sample_forest_batch(karate, [0, 33], 6, seed=0)
+        assert len(forests) == 6
+        for forest in forests:
+            forest.validate_against(karate)
+
+    def test_batch_reproducible_and_independent_of_workers_param(self, karate):
+        first = sample_forest_batch(karate, [0], 4, seed=3, workers=1)
+        second = sample_forest_batch(karate, [0], 4, seed=3, workers=None)
+        for a, b in zip(first, second):
+            assert np.array_equal(a.parent, b.parent)
+
+    def test_empty_batch(self, karate):
+        assert sample_forest_batch(karate, [0], 0, seed=0) == []
+
+    def test_negative_count_rejected(self, karate):
+        with pytest.raises(InvalidParameterError):
+            sample_forest_batch(karate, [0], -2, seed=0)
