@@ -1,0 +1,106 @@
+"""Dynamic-engine benchmarks — incremental maintenance vs from-scratch work.
+
+Three comparisons, each pairing an incremental path of :mod:`repro.dynamic`
+with the batch recomputation it replaces:
+
+* maintaining ``Tr(inv(L_{-S}))`` across a burst of edge updates: O(n²)
+  Sherman–Morrison syncs versus a fresh O(n³) inversion per burst;
+* answering a repeated CFCM query on an unchanged graph: version-aware cache
+  hit versus re-running the batch algorithm;
+* an update-heavy monitoring workload (updates interleaved with group-CFCC
+  evaluations) end to end through the engine versus from scratch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.centrality.api import maximize_cfcc
+from repro.centrality.cfcc import group_cfcc
+from repro.centrality.estimators import SamplingConfig
+from repro.dynamic import DynamicCFCM, DynamicGraph, random_update_journal
+
+UPDATE_BURST = 8
+GROUP = (0, 1, 2)
+
+
+def _dynamic_copy(graph):
+    """Fresh DynamicGraph over the session-scoped fixture topology."""
+    return DynamicGraph(graph)
+
+
+@pytest.mark.benchmark(group="dynamic-updates")
+class TestIncrementalResistanceMaintenance:
+    def test_incremental_sync_per_burst(self, benchmark, sparse_graph):
+        from repro.dynamic import IncrementalResistance
+
+        def run():
+            graph = _dynamic_copy(sparse_graph)
+            tracker = IncrementalResistance(graph, list(GROUP))
+            rng = np.random.default_rng(0)
+            for _ in range(4):
+                random_update_journal(graph, UPDATE_BURST, rng)
+                tracker.trace()
+            return tracker.trace()
+
+        benchmark(run)
+
+    def test_scratch_inversion_per_burst(self, benchmark, sparse_graph):
+        from repro.centrality.cfcc import grounded_trace
+
+        def run():
+            graph = _dynamic_copy(sparse_graph)
+            grounded_trace(graph.snapshot(), list(GROUP))
+            rng = np.random.default_rng(0)
+            value = 0.0
+            for _ in range(4):
+                random_update_journal(graph, UPDATE_BURST, rng)
+                value = grounded_trace(graph.snapshot(), list(GROUP))
+            return value
+
+        benchmark(run)
+
+
+@pytest.mark.benchmark(group="dynamic-query")
+class TestCachedQueries:
+    def test_engine_repeat_query(self, benchmark, sparse_graph, loose_config):
+        engine = DynamicCFCM(_dynamic_copy(sparse_graph), seed=0,
+                             config=loose_config)
+        engine.query(4, method="schur")  # warm the cache once
+        benchmark(lambda: engine.query(4, method="schur"))
+
+    def test_scratch_repeat_query(self, benchmark, sparse_graph, loose_config):
+        snapshot = _dynamic_copy(sparse_graph).snapshot()
+        benchmark(lambda: maximize_cfcc(snapshot, 4, method="schur", seed=0,
+                                        config=loose_config))
+
+
+@pytest.mark.benchmark(group="dynamic-workload")
+class TestUpdateHeavyWorkload:
+    """8 updates : 1 evaluation per round — the update-heavy regime."""
+
+    def test_engine_update_heavy(self, benchmark, sparse_graph):
+        def run():
+            graph = _dynamic_copy(sparse_graph)
+            engine = DynamicCFCM(graph, seed=0)
+            rng = np.random.default_rng(1)
+            value = engine.evaluate_exact(list(GROUP))
+            for _ in range(4):
+                random_update_journal(graph, UPDATE_BURST, rng)
+                value = engine.evaluate_exact(list(GROUP))
+            return value
+
+        benchmark(run)
+
+    def test_scratch_update_heavy(self, benchmark, sparse_graph):
+        def run():
+            graph = _dynamic_copy(sparse_graph)
+            rng = np.random.default_rng(1)
+            value = group_cfcc(graph.snapshot(), list(GROUP))
+            for _ in range(4):
+                random_update_journal(graph, UPDATE_BURST, rng)
+                value = group_cfcc(graph.snapshot(), list(GROUP))
+            return value
+
+        benchmark(run)

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Dynamic road closures: keep emergency-station placement fresh as roads close.
+
+A city road network is modelled as a grid with a few diagonal shortcuts.
+Emergency response stations are placed by maximising group current-flow
+closeness (good placements are electrically close to everywhere).  Roads then
+close and reopen over time; the :class:`repro.dynamic.DynamicCFCM` engine
+maintains the placement and its quality incrementally instead of re-solving
+from scratch after every event.
+
+Run with::
+
+    python examples/dynamic_road_closures.py [--rows 12] [--cols 12] [--stations 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.dynamic import DynamicCFCM, DynamicGraph
+from repro.exceptions import DisconnectedGraphError
+from repro.graph import generators
+
+
+def build_road_network(rows: int, cols: int, shortcuts: int, seed: int) -> DynamicGraph:
+    """Grid road network plus a few random diagonal shortcut streets."""
+    grid = generators.grid_graph(rows, cols)
+    graph = DynamicGraph(grid)
+    rng = np.random.default_rng(seed)
+    added = 0
+    while added < shortcuts:
+        r, c = int(rng.integers(0, rows - 1)), int(rng.integers(0, cols - 1))
+        u, v = r * cols + c, (r + 1) * cols + (c + 1)
+        if not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+            added += 1
+    return graph
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, default=12, help="grid rows")
+    parser.add_argument("--cols", type=int, default=12, help="grid columns")
+    parser.add_argument("--stations", type=int, default=4, help="stations to place")
+    parser.add_argument("--closures", type=int, default=6, help="closure events")
+    parser.add_argument("--eps", type=float, default=0.35, help="error parameter")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    args = parser.parse_args()
+
+    graph = build_road_network(args.rows, args.cols, shortcuts=args.rows // 2,
+                               seed=args.seed)
+    print(f"Road network: {graph.n} intersections, {graph.m} street segments")
+
+    engine = DynamicCFCM(graph, seed=args.seed)
+    result = engine.query(args.stations, method="exact", eps=args.eps)
+    stations = result.group
+    print(f"Initial stations (group CFCC "
+          f"{engine.evaluate_exact(stations):.4f}): {stations}\n")
+
+    rng = np.random.default_rng(args.seed + 1)
+    closed: list = []
+    print(f"{'event':<28} {'CFCC':>8}  {'stations':<24} cache")
+    for step in range(args.closures):
+        reopen = closed and rng.random() < 0.3
+        if reopen:
+            u, v = closed.pop(int(rng.integers(0, len(closed))))
+            graph.add_edge(u, v)
+            label = f"reopen  ({u:>3}, {v:>3})"
+        else:
+            edges = list(graph.edges())
+            label = "closure skipped (bridges)"
+            for _ in range(32):
+                u, v = edges[int(rng.integers(0, len(edges)))]
+                try:
+                    graph.remove_edge(u, v)
+                except DisconnectedGraphError:
+                    continue
+                closed.append((u, v))
+                label = f"close   ({u:>3}, {v:>3})"
+                break
+
+        result = engine.query(args.stations, method="exact", eps=args.eps)
+        stations = result.group
+        value = engine.evaluate_exact(stations)
+        stats = engine.stats
+        print(f"{label:<28} {value:>8.4f}  {str(stations):<24} "
+              f"{stats.query_hits}h/{stats.query_misses}m")
+
+    print(f"\nEngine statistics after {args.closures} events:")
+    for key, value in engine.stats.as_dict().items():
+        print(f"  {key:<20} {value}")
+    print("\nQuality monitoring (evaluate_exact) rode the incremental O(n^2)")
+    print("Sherman-Morrison updates instead of O(n^3) re-factorisations; the")
+    print("placement queries re-ran after each closure (the graph changed) and")
+    print("are answered from cache whenever the network is unchanged.")
+
+
+if __name__ == "__main__":
+    main()

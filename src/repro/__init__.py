@@ -58,8 +58,9 @@ from repro.centrality import (
     total_group_resistance,
 )
 from repro.centrality.estimators import SamplingConfig
+from repro.dynamic import DynamicCFCM, DynamicGraph, IncrementalResistance
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -75,6 +76,10 @@ __all__ = [
     "Graph",
     "CFCMResult",
     "SamplingConfig",
+    # dynamic engine
+    "DynamicGraph",
+    "DynamicCFCM",
+    "IncrementalResistance",
     # algorithms
     "maximize_cfcc",
     "METHODS",

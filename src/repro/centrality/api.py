@@ -27,15 +27,43 @@ from repro.centrality.optimum import optimum_cfcm
 from repro.centrality.result import CFCMResult
 from repro.centrality.schur_cfcm import SchurCFCM
 from repro.utils.rng import RandomState
+from repro.utils.validation import check_integer
 
 METHODS = ("schur", "forest", "approx", "exact", "degree", "top-cfcc", "optimum")
+
+# Methods whose accuracy is governed by the error parameter eps.
+_EPS_METHODS = ("schur", "forest", "approx")
+
+
+def validate_cfcm_parameters(n: int, k: int, method: str, eps: float,
+                             config: Optional[SamplingConfig]) -> int:
+    """Validate the shared CFCM parameters; returns the normalised ``k``.
+
+    Shared by :func:`maximize_cfcc` and :meth:`repro.dynamic.DynamicCFCM.query`
+    so both entry points fail fast with the same messages (in particular
+    *before* any cache key is derived from the raw arguments).
+    """
+    k = check_integer("k", k, minimum=1)
+    if k >= n:
+        raise InvalidParameterError(
+            f"k={k} must satisfy 1 <= k < n={n}: the selected group has to be "
+            "a strict subset of the nodes"
+        )
+    if method in _EPS_METHODS and config is None:
+        eps = float(eps)
+        if not 0.0 < eps < 1.0:
+            raise InvalidParameterError(
+                f"eps must lie in (0, 1) for method {method!r}, got {eps}"
+            )
+    return k
 
 
 def maximize_cfcc(graph: Graph, k: int, method: str = "schur", eps: float = 0.2,
                   seed: RandomState = None,
                   config: Optional[SamplingConfig] = None,
                   extra_roots: Optional[Sequence[int]] = None,
-                  evaluate: bool | str = False) -> CFCMResult:
+                  evaluate: bool | str = False,
+                  engine: Optional[object] = None) -> CFCMResult:
     """Approximately solve CFCM: pick ``k`` nodes maximising group CFCC.
 
     Parameters
@@ -72,6 +100,13 @@ def maximize_cfcc(graph: Graph, k: int, method: str = "schur", eps: float = 0.2,
         ``False`` (default) leaves ``result.cfcc`` empty; ``True`` or
         ``"exact"`` fills it with the exact CFCC of the selected group;
         ``"estimate"`` uses the sparse-solver estimate (large graphs).
+    engine:
+        Optional :class:`repro.dynamic.DynamicCFCM`.  When given, the call is
+        routed through the engine's version-aware cache (repeat queries on an
+        unchanged graph are O(1) hits) instead of running a batch algorithm
+        directly; ``graph`` must then be the engine's dynamic graph (or
+        ``None``), and ``seed`` / ``config`` / ``extra_roots`` must be unset —
+        the engine owns those.
 
     Returns
     -------
@@ -82,6 +117,41 @@ def maximize_cfcc(graph: Graph, k: int, method: str = "schur", eps: float = 0.2,
         raise InvalidParameterError(
             f"unknown method {method!r}; valid methods: {METHODS}"
         )
+
+    if graph is None and engine is None:
+        raise InvalidParameterError(
+            "graph is required (it may only be None when engine= is given)"
+        )
+    n = engine.graph.n if (engine is not None and graph is None) else graph.n
+    k = validate_cfcm_parameters(n, k, method, eps, config)
+
+    if engine is not None:
+        if seed is not None or config is not None or extra_roots is not None:
+            raise InvalidParameterError(
+                "seed/config/extra_roots cannot be combined with engine=: the "
+                "engine owns its random stream and sampling configuration "
+                "(set them on the DynamicCFCM constructor)"
+            )
+        if graph is not None and graph is not engine.graph \
+                and graph is not engine.graph.snapshot():
+            raise InvalidParameterError(
+                "graph does not match engine.graph; pass the engine's dynamic "
+                "graph (or None) when routing through engine="
+            )
+        return engine.query(k, method=method, eps=eps, evaluate=evaluate)
+
+    # A DynamicGraph (or anything snapshot-able) is frozen to an immutable
+    # CSR graph so the batch algorithms below run unmodified.  The snapshot
+    # only carries the topology, so a weighted dynamic graph must be refused
+    # here or every method below would silently optimise the wrong objective.
+    if not isinstance(graph, Graph) and hasattr(graph, "snapshot"):
+        if not getattr(graph, "is_unit_weighted", True):
+            raise InvalidParameterError(
+                "CFCM selection assumes unit edge weights; reset weights to 1 "
+                "(weighted graphs are supported for evaluation via "
+                "DynamicCFCM.evaluate_exact only)"
+            )
+        graph = graph.snapshot()
 
     if method == "schur":
         result = SchurCFCM(graph, eps=eps, seed=seed, config=config,

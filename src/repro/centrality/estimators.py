@@ -210,6 +210,24 @@ class ForestAccumulator:
             forest = sample_rooted_forest(self.graph, self.roots, seed=self.rng)
             self._process(forest)
 
+    def add_forest(self, forest) -> None:
+        """Fold one externally sampled forest into the running sums.
+
+        The forest must be rooted at this accumulator's root set; this is the
+        entry point for callers that manage their own forest pool (batch
+        sampling workers, the dynamic engine's selectively invalidated cache).
+        """
+        if forest.n != self.graph.n:
+            raise InvalidParameterError(
+                f"forest has {forest.n} nodes, graph has {self.graph.n}"
+            )
+        if [int(r) for r in forest.roots] != self.roots:
+            raise InvalidParameterError(
+                f"forest roots {forest.roots.tolist()} do not match the "
+                f"accumulator root set {self.roots}"
+            )
+        self._process(forest)
+
     def _process(self, forest) -> None:
         n = self.graph.n
         parent = forest.parent

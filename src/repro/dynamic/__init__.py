@@ -1,0 +1,31 @@
+"""Dynamic-graph engine: incremental CFCC maintenance under edge updates.
+
+The batch algorithms of the paper solve CFCM on a frozen graph; this package
+keeps their state alive while the graph mutates:
+
+* :class:`DynamicGraph` — journaled mutable wrapper over :class:`repro.Graph`
+  (``add_edge`` / ``remove_edge`` / ``update_weight``, version counters,
+  connectivity guards, cached immutable snapshots);
+* :class:`IncrementalResistance` — grounded-Laplacian inverse maintained by
+  O(n²) Sherman–Morrison edge updates with a configurable staleness policy;
+* :class:`DynamicCFCM` — cached ``query(k, method, eps)`` engine with
+  selectively invalidated forest pools and hit/miss statistics;
+* :mod:`repro.dynamic.workload` — reproducible random update streams for
+  experiments, benchmarks and tests.
+"""
+
+from repro.dynamic.graph import DynamicGraph, EdgeUpdate
+from repro.dynamic.resistance import IncrementalResistance, ResistanceStats
+from repro.dynamic.engine import DynamicCFCM, EngineStats
+from repro.dynamic.workload import apply_random_update, random_update_journal
+
+__all__ = [
+    "DynamicGraph",
+    "EdgeUpdate",
+    "IncrementalResistance",
+    "ResistanceStats",
+    "DynamicCFCM",
+    "EngineStats",
+    "apply_random_update",
+    "random_update_journal",
+]

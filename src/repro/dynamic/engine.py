@@ -1,0 +1,285 @@
+"""Dynamic CFCM query engine: cached queries with selective invalidation.
+
+:class:`DynamicCFCM` fronts the batch CFCM algorithms with three layers of
+state that survive across graph mutations:
+
+1. **Query cache** — ``query(k, method, eps)`` results are memoised per graph
+   version, so repeated queries on an unchanged graph are O(1) hits; any
+   mutation invalidates them wholesale (the optimal group can move
+   arbitrarily far under a single edge edit).
+2. **Forest pools** — :meth:`evaluate_forest` estimates the group CFCC of a
+   root set from a pool of sampled spanning forests.  On mutations the pool
+   is invalidated *selectively*: a deleted edge only invalidates the forests
+   whose parent pointers actually use it, an insertion leaves every stored
+   forest structurally valid and instead bumps a drift counter (the stored
+   forests remain spanning forests of the new graph but their distribution is
+   slightly stale); once drift exceeds ``max_drift`` the pool is flushed.
+   Reweighting flushes immediately — the samplers are unit-resistor.
+3. **Incremental inverses** — :meth:`evaluate_exact` delegates to a cached
+   :class:`repro.dynamic.IncrementalResistance` per group, which follows the
+   journal with O(n²) Sherman–Morrison steps instead of O(n³) inversions.
+
+Hit/miss and kept/resampled counters are exposed via :attr:`stats` so
+operators can see whether the caches earn their memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.centrality.estimators import ForestAccumulator, SamplingConfig
+from repro.centrality.result import CFCMResult
+from repro.dynamic.graph import ADD, REMOVE, DynamicGraph
+from repro.dynamic.resistance import IncrementalResistance
+from repro.graph.graph import Graph
+from repro.sampling.forest import Forest
+from repro.sampling.wilson import sample_rooted_forest
+from repro.utils.rng import RandomState, as_rng
+from repro.utils.validation import check_group, check_integer
+
+
+@dataclass
+class EngineStats:
+    """Cache-effectiveness counters of one :class:`DynamicCFCM` instance."""
+
+    query_hits: int = 0
+    query_misses: int = 0
+    eval_hits: int = 0
+    eval_misses: int = 0
+    forests_kept: int = 0
+    forests_resampled: int = 0
+    pools_flushed: int = 0
+
+    def hit_rate(self) -> float:
+        """Fraction of ``query`` calls answered from cache."""
+        total = self.query_hits + self.query_misses
+        return self.query_hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "query_hits": self.query_hits,
+            "query_misses": self.query_misses,
+            "eval_hits": self.eval_hits,
+            "eval_misses": self.eval_misses,
+            "forests_kept": self.forests_kept,
+            "forests_resampled": self.forests_resampled,
+            "pools_flushed": self.pools_flushed,
+            "hit_rate": self.hit_rate(),
+        }
+
+
+@dataclass
+class _ForestPool:
+    """Sampled forests for one root set, plus the drift bookkeeping."""
+
+    roots: Tuple[int, ...]
+    forests: List[Forest] = field(default_factory=list)
+    drift: int = 0
+
+
+class DynamicCFCM:
+    """Query engine maintaining CFCM state across edge updates.
+
+    Parameters
+    ----------
+    graph:
+        A :class:`DynamicGraph` (a plain connected :class:`repro.Graph` is
+        wrapped automatically).
+    seed:
+        Master seed; every cache miss derives an independent child seed so
+        results are reproducible for a fixed call sequence.
+    config:
+        Optional :class:`SamplingConfig` forwarded to the sampling methods.
+    pool_size:
+        Number of forests kept per evaluation root set.
+    max_drift:
+        How many edge insertions a forest pool tolerates before it is
+        considered too stale and flushed.
+    refresh_interval:
+        Staleness budget of the per-group incremental inverses.
+    cache_capacity:
+        Maximum entries per cache (query results, forest pools, incremental
+        inverses); least-recently-used entries are evicted beyond it so a
+        long-running engine's memory stays bounded.
+    """
+
+    def __init__(self, graph: DynamicGraph | Graph, seed: RandomState = None,
+                 config: Optional[SamplingConfig] = None, pool_size: int = 24,
+                 max_drift: int = 8, refresh_interval: int = 64,
+                 cache_capacity: int = 64):
+        if isinstance(graph, Graph):
+            graph = DynamicGraph(graph)
+        self.graph = graph
+        self.rng = as_rng(seed)
+        self.config = config
+        self.pool_size = check_integer("pool_size", pool_size, minimum=1)
+        self.max_drift = check_integer("max_drift", max_drift, minimum=0)
+        self.refresh_interval = check_integer("refresh_interval", refresh_interval,
+                                              minimum=1)
+        self.cache_capacity = check_integer("cache_capacity", cache_capacity,
+                                            minimum=1)
+        self.stats = EngineStats()
+        self._query_cache: Dict[Tuple, Tuple[int, CFCMResult]] = {}
+        self._eval_cache: Dict[Tuple, Tuple[int, float]] = {}
+        self._pools: Dict[Tuple[int, ...], _ForestPool] = {}
+        self._trackers: Dict[Tuple[int, ...], IncrementalResistance] = {}
+        self._pool_version = graph.version
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def version(self) -> int:
+        """Current version of the underlying dynamic graph."""
+        return self.graph.version
+
+    def query(self, k: int, method: str = "schur", eps: float = 0.2,
+              evaluate: bool | str = False) -> CFCMResult:
+        """Solve CFCM on the current graph, reusing the cache when unchanged.
+
+        Parameters mirror :func:`repro.maximize_cfcc`; the result of a miss
+        is computed by the corresponding batch algorithm on the current
+        snapshot and memoised until the next mutation.
+        """
+        from repro.centrality.api import maximize_cfcc, validate_cfcm_parameters
+
+        k = validate_cfcm_parameters(self.graph.n, k, str(method).lower(), eps,
+                                     self.config)
+        if not self.graph.is_unit_weighted:
+            # snapshot() exposes only the topology, so every batch method
+            # (including exact greedy) would silently optimise the wrong
+            # objective on a weighted graph.
+            raise InvalidParameterError(
+                "selection queries assume unit edge weights; reset weights "
+                "to 1 (weighted graphs are supported for evaluation via "
+                "evaluate_exact only)"
+            )
+        key = (k, str(method).lower(), round(float(eps), 9), str(evaluate))
+        cached = self._query_cache.get(key)
+        if cached is not None and cached[0] == self.graph.version:
+            self.stats.query_hits += 1
+            _lru_store(self._query_cache, key, cached, self.cache_capacity)
+            return cached[1]
+        self.stats.query_misses += 1
+        child_seed = int(self.rng.integers(0, 2**62))
+        result = maximize_cfcc(self.graph.snapshot(), k, method=method, eps=eps,
+                               seed=child_seed, config=self.config,
+                               evaluate=evaluate)
+        _lru_store(self._query_cache, key, (self.graph.version, result),
+                   self.cache_capacity)
+        return result
+
+    def evaluate(self, group: Sequence[int], mode: str = "exact") -> float:
+        """Group CFCC of ``group`` on the current graph.
+
+        ``mode="exact"`` uses the incremental grounded inverse (O(n²) per
+        pending update); ``mode="forest"`` uses the selectively invalidated
+        forest pool (estimator accuracy grows with ``pool_size``).
+        """
+        mode = str(mode).lower()
+        if mode == "exact":
+            return self.evaluate_exact(group)
+        if mode == "forest":
+            return self.evaluate_forest(group)
+        raise InvalidParameterError(f"unknown evaluation mode {mode!r}")
+
+    def evaluate_exact(self, group: Sequence[int]) -> float:
+        """Exact group CFCC via the per-group incremental inverse."""
+        key = tuple(check_group(group, self.graph.n))
+        tracker = self._trackers.get(key)
+        if tracker is None:
+            tracker = IncrementalResistance(self.graph, key,
+                                            refresh_interval=self.refresh_interval)
+        _lru_store(self._trackers, key, tracker, self.cache_capacity)
+        return tracker.group_cfcc()
+
+    def evaluate_forest(self, group: Sequence[int]) -> float:
+        """Estimated group CFCC from the (selectively invalidated) forest pool.
+
+        ``Tr(inv(L_{-S}))`` is the sum of the per-node diagonal estimators of
+        Lemma 3.3, evaluated over the pooled forests rooted at ``S``.
+        """
+        if not self.graph.is_unit_weighted:
+            raise InvalidParameterError(
+                "forest evaluation assumes unit edge weights; use mode='exact'"
+            )
+        roots = tuple(check_group(group, self.graph.n))
+        self._sync_pools()
+        cache_key = ("forest", roots)
+        cached = self._eval_cache.get(cache_key)
+        if cached is not None and cached[0] == self.graph.version:
+            self.stats.eval_hits += 1
+            _lru_store(self._eval_cache, cache_key, cached, self.cache_capacity)
+            return cached[1]
+        self.stats.eval_misses += 1
+
+        pool = self._pools.get(roots)
+        if pool is None:
+            pool = _ForestPool(roots=roots)
+        _lru_store(self._pools, roots, pool, self.cache_capacity)
+        snapshot = self.graph.snapshot()
+        if not pool.forests:
+            # An empty pool is refilled entirely from the current snapshot
+            # below, so whatever drift the old samples had accumulated is gone.
+            pool.drift = 0
+        self.stats.forests_kept += len(pool.forests)
+        while len(pool.forests) < self.pool_size:
+            pool.forests.append(
+                sample_rooted_forest(snapshot, list(roots), seed=self.rng)
+            )
+            self.stats.forests_resampled += 1
+
+        accumulator = ForestAccumulator(snapshot, list(roots), seed=self.rng)
+        for forest in pool.forests:
+            accumulator.add_forest(forest)
+        trace = float(np.sum(accumulator.diag_estimates()))
+        value = self.graph.n / trace
+        _lru_store(self._eval_cache, cache_key, (self.graph.version, value),
+                   self.cache_capacity)
+        return value
+
+    # ------------------------------------------------------------ maintenance
+    def _sync_pools(self) -> None:
+        """Replay pending journal events onto every forest pool."""
+        events = self.graph.journal_since(self._pool_version)
+        if not events:
+            return
+        for pool in self._pools.values():
+            for event in events:
+                if not pool.forests and pool.drift == 0:
+                    break
+                if event.kind == REMOVE:
+                    survivors = [f for f in pool.forests
+                                 if not _forest_uses_edge(f, event.u, event.v)]
+                    pool.forests = survivors
+                elif event.kind == ADD:
+                    pool.drift += 1
+                else:  # reweight: unit-resistor samples are no longer valid
+                    pool.forests = []
+                    pool.drift = 0
+                    self.stats.pools_flushed += 1
+            if pool.drift > self.max_drift:
+                pool.forests = []
+                pool.drift = 0
+                self.stats.pools_flushed += 1
+        self._pool_version = self.graph.version
+
+
+def _forest_uses_edge(forest: Forest, u: int, v: int) -> bool:
+    """Whether a forest's parent pointers traverse the undirected edge (u, v)."""
+    return bool(forest.parent[u] == v or forest.parent[v] == u)
+
+
+def _lru_store(cache: Dict, key, value, capacity: int) -> None:
+    """Insert ``key`` as the most-recent entry, evicting down to ``capacity``.
+
+    Called on every hit and miss alike, so dict insertion order doubles as
+    LRU order; the caches hold dense inverses / forest pools, so bounding
+    them is what keeps a long-running engine's memory flat.
+    """
+    cache.pop(key, None)
+    cache[key] = value
+    while len(cache) > capacity:
+        cache.pop(next(iter(cache)))

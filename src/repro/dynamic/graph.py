@@ -1,0 +1,271 @@
+"""Mutable dynamic-graph layer: an edge journal over immutable CSR snapshots.
+
+:class:`repro.Graph` is deliberately immutable — every batch algorithm in the
+library assumes a frozen CSR layout.  A production query service, however,
+faces graphs that change between queries (road closures, link failures,
+topology rollouts).  :class:`DynamicGraph` bridges the two worlds:
+
+* it keeps the *current* edge set (with positive weights) in hash maps that
+  support O(1) ``add_edge`` / ``remove_edge`` / ``update_weight``;
+* every mutation is appended to a monotonically versioned **journal**, so any
+  number of downstream consumers (incremental inverses, forest caches) can
+  catch up independently via :meth:`journal_since` without callbacks;
+* :meth:`snapshot` materialises an immutable :class:`repro.Graph` of the
+  current topology, cached per version, so the existing batch algorithms run
+  unmodified on the latest state;
+* **connectivity guards**: CFCC is only defined on connected graphs, so edge
+  removals that would disconnect the graph are rejected up front with
+  :class:`repro.exceptions.DisconnectedGraphError` instead of surfacing as
+  singular matrices deep inside a solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.exceptions import DisconnectedGraphError, GraphError
+from repro.graph.graph import Graph
+from repro.graph.traversal import require_connected
+from repro.utils.validation import check_node, check_positive
+
+ADD = "add"
+REMOVE = "remove"
+REWEIGHT = "reweight"
+
+
+@dataclass(frozen=True)
+class EdgeUpdate:
+    """One journal entry: an applied mutation of the dynamic graph.
+
+    Attributes
+    ----------
+    kind:
+        ``"add"``, ``"remove"`` or ``"reweight"``.
+    u, v:
+        Edge endpoints with ``u < v``.
+    weight:
+        Weight after the event (for removals: the weight that was removed).
+    delta:
+        Signed Laplacian weight change (``+w`` add, ``-w`` remove,
+        ``w' - w`` reweight) — exactly the rank-1 coefficient consumed by
+        :func:`repro.linalg.grounded_inverse_edge_update`.
+    version:
+        Graph version *after* this event (versions start at 0 and increase by
+        one per mutation).
+    """
+
+    kind: str
+    u: int
+    v: int
+    weight: float
+    delta: float
+    version: int
+
+
+class DynamicGraph:
+    """A journaled, mutable view over a connected :class:`repro.Graph`.
+
+    Parameters
+    ----------
+    graph:
+        Connected seed topology; its edges start with weight 1.
+    weights:
+        Optional ``{(u, v): w}`` mapping overriding initial edge weights
+        (``w > 0``; keys must be existing edges in either orientation).
+
+    Notes
+    -----
+    Node set is fixed at construction (``0 .. n - 1``); only edges mutate.
+    Weights affect the Laplacian consumers (:class:`repro.dynamic.
+    IncrementalResistance`); the topology :meth:`snapshot` feeding the
+    unit-resistor forest samplers requires :attr:`is_unit_weighted`.
+    """
+
+    def __init__(self, graph: Graph, weights: Optional[Dict[Tuple[int, int], float]] = None):
+        require_connected(graph)
+        self._n = graph.n
+        self._weights: Dict[Tuple[int, int], float] = {
+            (int(u), int(v)): 1.0 for u, v in zip(graph.edge_u, graph.edge_v)
+        }
+        self._adjacency: List[Set[int]] = [set() for _ in range(self._n)]
+        for u, v in self._weights:
+            self._adjacency[u].add(v)
+            self._adjacency[v].add(u)
+        if weights:
+            for key, value in weights.items():
+                u, v = self._key(*key)
+                if (u, v) not in self._weights:
+                    raise GraphError(f"initial weight given for missing edge ({u}, {v})")
+                self._weights[(u, v)] = check_positive(f"weight of ({u}, {v})", value)
+
+        self._journal: List[EdgeUpdate] = []
+        self._version = 0
+        self._snapshot: Optional[Graph] = graph
+        self._snapshot_version = 0
+        # Count of edges with weight != 1, so is_unit_weighted is O(1) on the
+        # engine's per-query fast path instead of an O(m) scan.
+        self._non_unit_count = sum(1 for w in self._weights.values() if w != 1.0)
+
+    # ------------------------------------------------------------------ basic
+    @property
+    def n(self) -> int:
+        """Number of nodes (fixed for the lifetime of the dynamic graph)."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Current number of undirected edges."""
+        return len(self._weights)
+
+    @property
+    def version(self) -> int:
+        """Monotonic version counter; bumped by one per applied mutation."""
+        return self._version
+
+    @property
+    def is_unit_weighted(self) -> bool:
+        """Whether every current edge has weight exactly 1 (O(1))."""
+        return self._non_unit_count == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DynamicGraph(n={self._n}, m={self.m}, version={self._version})"
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over current undirected edges as ``(u, v)`` with ``u < v``."""
+        return iter(sorted(self._weights))
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``(u, v)`` currently exists."""
+        return self._key(u, v) in self._weights
+
+    def weight(self, u: int, v: int) -> float:
+        """Current weight of edge ``(u, v)``; raises if the edge is absent."""
+        key = self._key(u, v)
+        if key not in self._weights:
+            raise GraphError(f"edge ({key[0]}, {key[1]}) does not exist")
+        return self._weights[key]
+
+    def degree(self, node: int) -> int:
+        """Current (unweighted) degree of ``node``."""
+        check_node(node, self._n)
+        return len(self._adjacency[int(node)])
+
+    # -------------------------------------------------------------- mutations
+    def add_edge(self, u: int, v: int, weight: float = 1.0) -> EdgeUpdate:
+        """Insert edge ``(u, v)`` with the given positive weight."""
+        key = self._key(u, v)
+        if key in self._weights:
+            raise GraphError(f"edge ({key[0]}, {key[1]}) already exists")
+        weight = check_positive("weight", weight)
+        self._weights[key] = weight
+        self._adjacency[key[0]].add(key[1])
+        self._adjacency[key[1]].add(key[0])
+        if weight != 1.0:
+            self._non_unit_count += 1
+        return self._record(ADD, key, weight=weight, delta=weight)
+
+    def remove_edge(self, u: int, v: int) -> EdgeUpdate:
+        """Delete edge ``(u, v)``; rejected when it would disconnect the graph."""
+        key = self._key(u, v)
+        if key not in self._weights:
+            raise GraphError(f"edge ({key[0]}, {key[1]}) does not exist")
+        if self._would_disconnect(key):
+            raise DisconnectedGraphError(
+                f"removing edge ({key[0]}, {key[1]}) would disconnect the "
+                "graph; CFCC is undefined on disconnected graphs"
+            )
+        weight = self._weights.pop(key)
+        self._adjacency[key[0]].discard(key[1])
+        self._adjacency[key[1]].discard(key[0])
+        if weight != 1.0:
+            self._non_unit_count -= 1
+        return self._record(REMOVE, key, weight=weight, delta=-weight)
+
+    def update_weight(self, u: int, v: int, weight: float) -> Optional[EdgeUpdate]:
+        """Set the weight of existing edge ``(u, v)``; no-op when unchanged."""
+        key = self._key(u, v)
+        if key not in self._weights:
+            raise GraphError(f"edge ({key[0]}, {key[1]}) does not exist")
+        weight = check_positive("weight", weight)
+        old = self._weights[key]
+        if weight == old:
+            return None
+        self._weights[key] = weight
+        self._non_unit_count += (weight != 1.0) - (old != 1.0)
+        return self._record(REWEIGHT, key, weight=weight, delta=weight - old)
+
+    # ---------------------------------------------------------------- journal
+    def journal(self) -> Tuple[EdgeUpdate, ...]:
+        """The full mutation history (oldest first)."""
+        return tuple(self._journal)
+
+    def journal_since(self, version: int) -> List[EdgeUpdate]:
+        """Events applied after ``version`` (i.e. with ``event.version > version``).
+
+        This is the consumer-side synchronisation primitive: each downstream
+        state (incremental inverse, forest cache) remembers the version it
+        last saw and replays only the suffix.
+        """
+        version = int(version)
+        if version >= self._version:
+            return []
+        # Versions are dense (event i has version i + 1), so the suffix of
+        # events newer than `version` is exactly journal[version:].
+        return self._journal[max(version, 0):]
+
+    # --------------------------------------------------------------- exports
+    def snapshot(self) -> Graph:
+        """Immutable :class:`repro.Graph` of the current topology (cached)."""
+        if self._snapshot is None or self._snapshot_version != self._version:
+            self._snapshot = Graph(self._n, list(self._weights))
+            self._snapshot_version = self._version
+        return self._snapshot
+
+    def laplacian_dense(self) -> np.ndarray:
+        """Dense weighted Laplacian ``L = D_w - A_w`` of the current state."""
+        matrix = np.zeros((self._n, self._n), dtype=np.float64)
+        for (u, v), w in self._weights.items():
+            matrix[u, v] -= w
+            matrix[v, u] -= w
+            matrix[u, u] += w
+            matrix[v, v] += w
+        return matrix
+
+    # ------------------------------------------------------------- internals
+    def _key(self, u: int, v: int) -> Tuple[int, int]:
+        u = check_node(u, self._n)
+        v = check_node(v, self._n)
+        if u == v:
+            raise GraphError("self-loops are not supported")
+        return (u, v) if u < v else (v, u)
+
+    def _record(self, kind: str, key: Tuple[int, int], weight: float,
+                delta: float) -> EdgeUpdate:
+        self._version += 1
+        event = EdgeUpdate(kind=kind, u=key[0], v=key[1], weight=float(weight),
+                           delta=float(delta), version=self._version)
+        self._journal.append(event)
+        return event
+
+    def _would_disconnect(self, key: Tuple[int, int]) -> bool:
+        """BFS over the current adjacency with ``key`` masked out."""
+        u, v = key
+        if len(self._adjacency[u]) == 1 or len(self._adjacency[v]) == 1:
+            return True
+        seen = [False] * self._n
+        seen[u] = True
+        frontier = [u]
+        while frontier:
+            node = frontier.pop()
+            for neighbour in self._adjacency[node]:
+                if node == u and neighbour == v:
+                    continue
+                if node == v and neighbour == u:
+                    continue
+                if not seen[neighbour]:
+                    seen[neighbour] = True
+                    frontier.append(neighbour)
+        return not all(seen)

@@ -1,0 +1,157 @@
+"""Incremental effective-resistance state under single-edge updates.
+
+:class:`IncrementalResistance` maintains the dense grounded-Laplacian inverse
+``inv(L_{-S})`` of a :class:`repro.dynamic.DynamicGraph` for a fixed grounded
+group ``S``.  Every journal event is a rank-1 Laplacian perturbation
+``δ b bᵀ`` (``b = e_u - e_v``), so the inverse follows by Sherman–Morrison in
+O(n²) (:func:`repro.linalg.grounded_inverse_edge_update`) instead of a fresh
+O(n³) factorisation — the asymptotic win the dynamic engine is built on.
+
+Staleness policy
+----------------
+Rank-1 updates are exact in exact arithmetic but accumulate floating-point
+drift, and long journals eventually cost more than one clean factorisation.
+The tracker therefore refreshes (re-inverts from the current graph state)
+
+* after ``refresh_interval`` rank-1 updates since the last factorisation,
+* whenever a single event is singular (``1 + δ bᵀ inv b ≈ 0``), which for a
+  deletion means the grounded graph lost its last path to ground — the
+  connectivity guard of :class:`DynamicGraph` makes this rare, but grounded
+  *sub*-graphs can still degenerate numerically.
+
+All query methods synchronise lazily: mutate the graph freely, then call
+:meth:`trace` / :meth:`resistance_to_group` and the journal suffix is folded
+in on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.dynamic.graph import DynamicGraph
+from repro.linalg.laplacian import complement_indices
+from repro.linalg.updates import grounded_inverse_edge_update
+from repro.utils.validation import check_group, check_integer, check_node
+
+
+@dataclass
+class ResistanceStats:
+    """Counters describing how the incremental state was maintained."""
+
+    rank1_updates: int = 0
+    refreshes: int = 0
+    singular_refreshes: int = 0
+    events_seen: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "rank1_updates": self.rank1_updates,
+            "refreshes": self.refreshes,
+            "singular_refreshes": self.singular_refreshes,
+            "events_seen": self.events_seen,
+        }
+
+
+class IncrementalResistance:
+    """Maintains ``inv(L_{-S})`` of a dynamic graph across edge updates.
+
+    Parameters
+    ----------
+    graph:
+        The dynamic graph to track.
+    group:
+        Grounded node group ``S`` (non-empty strict subset of the nodes).
+    refresh_interval:
+        Staleness budget ``r``: after ``r`` rank-1 updates the next
+        synchronisation re-factorises from scratch instead of chaining more
+        Sherman–Morrison steps.
+    """
+
+    def __init__(self, graph: DynamicGraph, group: Sequence[int],
+                 refresh_interval: int = 64):
+        self.graph = graph
+        self.group = list(check_group(group, graph.n))
+        self.refresh_interval = check_integer("refresh_interval", refresh_interval,
+                                              minimum=1)
+        self.stats = ResistanceStats()
+        kept = complement_indices(graph.n, self.group)
+        self.kept = kept
+        self._local = -np.ones(graph.n, dtype=np.int64)
+        self._local[kept] = np.arange(kept.size)
+        self._updates_since_refresh = 0
+        self._synced_version = -1
+        self._factorize()
+
+    # ---------------------------------------------------------------- syncing
+    def sync(self) -> "IncrementalResistance":
+        """Fold any pending journal events into the inverse; returns ``self``."""
+        events = self.graph.journal_since(self._synced_version)
+        if not events:
+            return self
+        self.stats.events_seen += len(events)
+        # Edges with both endpoints grounded never enter L_{-S}; they must
+        # not count against the staleness budget either.
+        relevant = [e for e in events
+                    if self._local[e.u] >= 0 or self._local[e.v] >= 0]
+        if self._updates_since_refresh + len(relevant) > self.refresh_interval:
+            self._factorize()
+            self.stats.refreshes += 1
+            return self
+        for event in relevant:
+            i = int(self._local[event.u])
+            j = int(self._local[event.v])
+            if i < 0:
+                i, j = j, -1
+            try:
+                self.inverse = grounded_inverse_edge_update(
+                    self.inverse, i, None if j < 0 else j, event.delta
+                )
+                self._updates_since_refresh += 1
+                self.stats.rank1_updates += 1
+            except InvalidParameterError:
+                self._factorize()
+                self.stats.refreshes += 1
+                self.stats.singular_refreshes += 1
+                return self
+        self._synced_version = self.graph.version
+        return self
+
+    # ---------------------------------------------------------------- queries
+    def trace(self) -> float:
+        """Current ``Tr(inv(L_{-S})) = Σ_u R(u, S)`` (synchronises first)."""
+        self.sync()
+        return float(np.trace(self.inverse))
+
+    def group_cfcc(self) -> float:
+        """Current group CFCC ``C(S) = n / Tr(inv(L_{-S}))``."""
+        return self.graph.n / self.trace()
+
+    def diagonal(self) -> np.ndarray:
+        """Diagonal of the current inverse, indexed by :attr:`kept`."""
+        self.sync()
+        return np.diag(self.inverse).copy()
+
+    def resistance_to_group(self, node: int) -> float:
+        """Effective resistance ``R(u, S)`` of one node to the grounded group."""
+        node = check_node(node, self.graph.n)
+        self.sync()
+        local = int(self._local[node])
+        if local < 0:
+            return 0.0
+        return float(self.inverse[local, local])
+
+    @property
+    def synced_version(self) -> int:
+        """Graph version the inverse currently reflects."""
+        return self._synced_version
+
+    # -------------------------------------------------------------- internals
+    def _factorize(self) -> None:
+        full = self.graph.laplacian_dense()
+        self.inverse = np.linalg.inv(full[np.ix_(self.kept, self.kept)])
+        self._updates_since_refresh = 0
+        self._synced_version = self.graph.version

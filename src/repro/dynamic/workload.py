@@ -1,0 +1,59 @@
+"""Random edge-update workloads for the dynamic engine.
+
+Experiments, benchmarks and tests all need the same thing: a stream of valid
+random mutations of a :class:`DynamicGraph` (insertions of absent edges,
+deletions that respect the connectivity guard).  Centralising the generator
+keeps the workloads reproducible and the retry logic (skip bridges, skip
+duplicate inserts) in one place.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.exceptions import DisconnectedGraphError
+from repro.dynamic.graph import DynamicGraph, EdgeUpdate
+from repro.utils.rng import RandomState, as_rng
+
+
+def apply_random_update(graph: DynamicGraph, rng: RandomState = None,
+                        add_probability: float = 0.5,
+                        max_attempts: int = 64) -> Optional[EdgeUpdate]:
+    """Apply one random valid edge insertion or deletion; returns the event.
+
+    Deletions that would disconnect the graph are retried on another random
+    edge; when ``max_attempts`` draws fail to produce a valid mutation (e.g.
+    a tree has no removable edge, a clique has no insertable one) the
+    opposite kind is attempted before giving up with ``None``.
+    """
+    rng = as_rng(rng)
+    want_add = bool(rng.random() < add_probability)
+    for kind in (want_add, not want_add):
+        for _ in range(max_attempts):
+            u, v = (int(x) for x in rng.integers(0, graph.n, size=2))
+            if u == v:
+                continue
+            if kind:
+                if graph.has_edge(u, v):
+                    continue
+                return graph.add_edge(u, v)
+            if not graph.has_edge(u, v):
+                continue
+            try:
+                return graph.remove_edge(u, v)
+            except DisconnectedGraphError:
+                continue
+    return None
+
+
+def random_update_journal(graph: DynamicGraph, count: int,
+                          rng: RandomState = None,
+                          add_probability: float = 0.5) -> List[EdgeUpdate]:
+    """Apply ``count`` random mutations, returning the applied events."""
+    rng = as_rng(rng)
+    events: List[EdgeUpdate] = []
+    for _ in range(int(count)):
+        event = apply_random_update(graph, rng, add_probability=add_probability)
+        if event is not None:
+            events.append(event)
+    return events

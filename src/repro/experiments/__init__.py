@@ -12,6 +12,8 @@ Module          Paper artefact
 ``figure3``     Fig. 3 — CFCC vs k on larger graphs (no exact baseline)
 ``figure4``     Fig. 4 — running time as a function of eps
 ``figure5``     Fig. 5 — solution quality relative to Exact vs eps
+``dynamic``     (beyond the paper) incremental engine vs from-scratch
+                recomputation across update/query ratios
 ==============  ==========================================================
 
 Run them from the command line::
@@ -30,6 +32,7 @@ from repro.experiments.networks import (
     medium_suite,
     tiny_suite,
 )
+from repro.experiments.dynamic import run_dynamic
 from repro.experiments.table2 import run_table2
 from repro.experiments.figure1 import run_figure1
 from repro.experiments.figure2 import run_figure2
@@ -48,4 +51,5 @@ __all__ = [
     "run_figure3",
     "run_figure4",
     "run_figure5",
+    "run_dynamic",
 ]

@@ -5,7 +5,12 @@ Usage::
     python -m repro.experiments table2 [--scale small|full] [--k 10]
     python -m repro.experiments fig1
     python -m repro.experiments fig2 --eps 0.2
+    python -m repro.experiments dynamic --quick
     python -m repro.experiments all --quick
+
+``all`` regenerates the paper artefacts (table2 and the five figures); the
+``dynamic`` workload study characterises the incremental engine and is run
+explicitly.
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ from __future__ import annotations
 import argparse
 from typing import List, Optional
 
+from repro.experiments.dynamic import run_dynamic
 from repro.experiments.figure1 import run_figure1
 from repro.experiments.figure2 import run_figure2
 from repro.experiments.figure3 import run_figure3
@@ -20,7 +26,7 @@ from repro.experiments.figure4 import run_figure4
 from repro.experiments.figure5 import run_figure5
 from repro.experiments.table2 import run_table2
 
-EXPERIMENTS = ("table2", "fig1", "fig2", "fig3", "fig4", "fig5", "all")
+EXPERIMENTS = ("table2", "fig1", "fig2", "fig3", "fig4", "fig5", "dynamic", "all")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -76,4 +82,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if name in ("fig5", "all"):
         run_figure5(eps_values=eps_sweep, k=k, max_samples=args.max_samples,
                     seed=args.seed, scale=args.scale, output_json=args.output_json)
+    if name == "dynamic":
+        run_dynamic(k=k, eps=args.eps, max_samples=args.max_samples,
+                    seed=args.seed, scale=args.scale, quick=args.quick,
+                    output_json=args.output_json)
     return 0

@@ -16,7 +16,11 @@ from repro.linalg.schur import (
     grounded_inverse_block,
 )
 from repro.linalg.incidence import incidence_factor, grounded_incidence_factor
-from repro.linalg.updates import grounded_inverse, grounded_inverse_downdate
+from repro.linalg.updates import (
+    grounded_inverse,
+    grounded_inverse_downdate,
+    grounded_inverse_edge_update,
+)
 from repro.linalg.sparsify import (
     SparsifiedGraph,
     spectral_relative_error,
@@ -42,6 +46,7 @@ __all__ = [
     "grounded_incidence_factor",
     "grounded_inverse",
     "grounded_inverse_downdate",
+    "grounded_inverse_edge_update",
     "SparsifiedGraph",
     "spectral_relative_error",
     "spectral_sparsify",

@@ -8,6 +8,15 @@ standard block-inverse *downdate*
 
 which costs O(n^2) instead of a fresh O(n^3) inversion, making the exact
 greedy feasible on graphs with a few thousand nodes.
+
+The dynamic-graph engine (:mod:`repro.dynamic`) needs the complementary
+*edge* update: changing the weight of edge ``(u, v)`` by ``δ`` perturbs the
+Laplacian by the rank-1 term ``δ b bᵀ`` with ``b = e_u - e_v``, so the
+grounded inverse follows from the Sherman–Morrison formula
+
+``inv(M + δ b bᵀ) = inv(M) - δ inv(M) b bᵀ inv(M) / (1 + δ bᵀ inv(M) b)``
+
+again in O(n^2) — see :func:`grounded_inverse_edge_update`.
 """
 
 from __future__ import annotations
@@ -58,6 +67,68 @@ def grounded_inverse_downdate(inverse: np.ndarray, local_index: int) -> np.ndarr
     row = inverse[local_index, keep]
     reduced = inverse[np.ix_(keep, keep)] - np.outer(column, row) / pivot
     return reduced
+
+
+def grounded_inverse_edge_update(inverse: np.ndarray, i: int, j: int | None,
+                                 delta: float) -> np.ndarray:
+    """Sherman–Morrison update of ``inv(M)`` after ``M += delta * b bᵀ``.
+
+    ``b`` encodes a weight change of ``delta`` on one graph edge: ``b = e_i -
+    e_j`` when both endpoints are kept rows of the grounded matrix, and
+    ``b = e_i`` when the second endpoint is grounded (``j is None``), since
+    grounded rows/columns are absent from ``M``.
+
+    Parameters
+    ----------
+    inverse:
+        ``inv(M)`` for an invertible matrix ``M``.
+    i, j:
+        Kept-row indices of the edge endpoints; ``j=None`` for an edge whose
+        other endpoint belongs to the grounded set.
+    delta:
+        Signed weight change (``+w`` insertion, ``-w`` deletion, ``w' - w``
+        reweighting).
+
+    Returns
+    -------
+    ``inv(M + delta * b bᵀ)`` of the same shape.
+
+    Raises
+    ------
+    InvalidParameterError
+        If the update is singular (``1 + delta bᵀ inv(M) b ≈ 0``), which for a
+        grounded Laplacian means the deletion disconnects the grounded graph;
+        callers should fall back to a fresh factorisation or reject the edit.
+    """
+    inverse = np.asarray(inverse, dtype=np.float64)
+    n = inverse.shape[0]
+    if inverse.ndim != 2 or inverse.shape[1] != n:
+        raise InvalidParameterError("inverse must be a square matrix")
+    if not 0 <= int(i) < n:
+        raise InvalidParameterError(f"index i={i} outside [0, {n - 1}]")
+    if j is not None and not 0 <= int(j) < n:
+        raise InvalidParameterError(f"index j={j} outside [0, {n - 1}]")
+    if j is not None and int(i) == int(j):
+        raise InvalidParameterError("edge endpoints must be distinct rows")
+    delta = float(delta)
+    if delta == 0.0:
+        return inverse.copy()
+
+    if j is None:
+        column = inverse[:, i].copy()
+        row = inverse[i, :].copy()
+        quadratic = row[i]
+    else:
+        column = inverse[:, i] - inverse[:, j]
+        row = inverse[i, :] - inverse[j, :]
+        quadratic = row[i] - row[j]
+    denominator = 1.0 + delta * float(quadratic)
+    if abs(denominator) < 1e-12:
+        raise InvalidParameterError(
+            "singular edge update: 1 + delta * b^T inv(M) b is numerically "
+            "zero (the edit would make the grounded matrix singular)"
+        )
+    return inverse - (delta / denominator) * np.outer(column, row)
 
 
 class GroundedInverseTracker:

@@ -57,6 +57,16 @@ def test_power_grid_example(capsys):
 
 
 @pytest.mark.slow
+def test_dynamic_road_closures_example(capsys):
+    output = run_example("dynamic_road_closures.py",
+                         ["--rows", "7", "--cols", "7", "--stations", "3",
+                          "--closures", "3"], capsys)
+    assert "Road network" in output
+    assert "Initial stations" in output
+    assert "Engine statistics" in output
+
+
+@pytest.mark.slow
 def test_point_cloud_example(capsys):
     output = run_example("point_cloud_sampling.py",
                          ["--points", "150", "--samples", "4", "--neighbours", "5"],

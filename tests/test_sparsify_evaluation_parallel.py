@@ -165,6 +165,27 @@ class TestParallelSampling:
         for a, b in zip(first, second):
             assert np.array_equal(a.parent, b.parent)
 
+    def test_process_pool_bit_identical_to_sequential(self, karate):
+        """The batched_seeds contract: the batch is the same however it is split.
+
+        Exercises the ProcessPoolExecutor path (workers=2), which the other
+        tests never reach, and checks bit-identical forests against the
+        sequential path.
+        """
+        sequential = sample_forest_batch(karate, [0, 33], 5, seed=11, workers=1)
+        pooled = sample_forest_batch(karate, [0, 33], 5, seed=11, workers=2)
+        assert len(pooled) == len(sequential)
+        for a, b in zip(sequential, pooled):
+            assert np.array_equal(a.parent, b.parent)
+            assert np.array_equal(a.roots, b.roots)
+            b.validate_against(karate)
+
+    def test_process_pool_single_forest_falls_back_sequential(self, karate):
+        # count == 1 short-circuits the pool even when workers > 1.
+        pooled = sample_forest_batch(karate, [0], 1, seed=5, workers=4)
+        sequential = sample_forest_batch(karate, [0], 1, seed=5, workers=1)
+        assert np.array_equal(pooled[0].parent, sequential[0].parent)
+
     def test_empty_batch(self, karate):
         assert sample_forest_batch(karate, [0], 0, seed=0) == []
 
