@@ -1,25 +1,37 @@
 """Dynamic-engine benchmarks — incremental maintenance vs from-scratch work.
 
-Three comparisons, each pairing an incremental path of :mod:`repro.dynamic`
-with the batch recomputation it replaces:
+Comparisons pairing an incremental path of :mod:`repro.dynamic` with the
+batch recomputation it replaces:
 
-* maintaining ``Tr(inv(L_{-S}))`` across a burst of edge updates: O(n²)
-  Sherman–Morrison syncs versus a fresh O(n³) inversion per burst;
+* maintaining ``Tr(inv(L_{-S}))`` across a burst of ``t`` edge updates three
+  ways: **batched** (one rank-``t`` Woodbury sync per burst), **sequential**
+  (a Sherman–Morrison sync after every single event) and **refactorise** (a
+  fresh O(n³) inversion per burst);
 * answering a repeated CFCM query on an unchanged graph: version-aware cache
   hit versus re-running the batch algorithm;
 * an update-heavy monitoring workload (updates interleaved with group-CFCC
   evaluations) end to end through the engine versus from scratch.
+
+Besides the pytest-benchmark suite this module is runnable standalone, so CI
+can exercise it cheaply::
+
+    PYTHONPATH=src python benchmarks/bench_dynamic.py --smoke
+    PYTHONPATH=src python benchmarks/bench_dynamic.py --n 600 --repeats 5
 """
 
 from __future__ import annotations
+
+import argparse
+import time
 
 import numpy as np
 import pytest
 
 from repro.centrality.api import maximize_cfcc
-from repro.centrality.cfcc import group_cfcc
-from repro.centrality.estimators import SamplingConfig
-from repro.dynamic import DynamicCFCM, DynamicGraph, random_update_journal
+from repro.centrality.cfcc import group_cfcc, grounded_trace
+from repro.dynamic import DynamicCFCM, DynamicGraph, IncrementalResistance, \
+    random_update_journal
+from repro.graph import generators
 
 UPDATE_BURST = 8
 GROUP = (0, 1, 2)
@@ -32,23 +44,36 @@ def _dynamic_copy(graph):
 
 @pytest.mark.benchmark(group="dynamic-updates")
 class TestIncrementalResistanceMaintenance:
-    def test_incremental_sync_per_burst(self, benchmark, sparse_graph):
-        from repro.dynamic import IncrementalResistance
+    """Burst maintenance: batched rank-t vs per-event rank-1 vs refactorise."""
 
+    def test_batched_sync_per_burst(self, benchmark, sparse_graph):
         def run():
             graph = _dynamic_copy(sparse_graph)
-            tracker = IncrementalResistance(graph, list(GROUP))
+            tracker = IncrementalResistance(graph, list(GROUP),
+                                            refresh_interval=10_000)
             rng = np.random.default_rng(0)
             for _ in range(4):
                 random_update_journal(graph, UPDATE_BURST, rng)
-                tracker.trace()
+                tracker.trace()  # whole burst folds in as one Woodbury solve
+            return tracker.trace()
+
+        benchmark(run)
+
+    def test_sequential_sync_per_event(self, benchmark, sparse_graph):
+        def run():
+            graph = _dynamic_copy(sparse_graph)
+            tracker = IncrementalResistance(graph, list(GROUP),
+                                            refresh_interval=10_000)
+            rng = np.random.default_rng(0)
+            for _ in range(4):
+                for _ in range(UPDATE_BURST):
+                    random_update_journal(graph, 1, rng)
+                    tracker.trace()  # one rank-1 step per event
             return tracker.trace()
 
         benchmark(run)
 
     def test_scratch_inversion_per_burst(self, benchmark, sparse_graph):
-        from repro.centrality.cfcc import grounded_trace
-
         def run():
             graph = _dynamic_copy(sparse_graph)
             grounded_trace(graph.snapshot(), list(GROUP))
@@ -104,3 +129,103 @@ class TestUpdateHeavyWorkload:
             return value
 
         benchmark(run)
+
+
+# --------------------------------------------------------------------------
+# Standalone burst-size study (also the CI smoke run)
+# --------------------------------------------------------------------------
+
+def run_burst_comparison(n: int = 400, bursts: int = 4,
+                         t_values=(4, 16, 64), repeats: int = 3,
+                         seed: int = 0, verbose: bool = True):
+    """Time batched vs sequential vs refactorise syncs per burst size ``t``.
+
+    Every strategy replays the *same* update stream; their final traces are
+    cross-checked to 1e-8 so the timings cannot drift apart semantically.
+    Returns one result dict per ``t``.
+    """
+    base = generators.barabasi_albert(n, 3, seed=seed)
+    group = list(GROUP)
+    rows = []
+    for t in t_values:
+        timings = {"batched": 0.0, "sequential": 0.0, "refactorise": 0.0}
+        traces = {}
+
+        for strategy in timings:
+            rng = np.random.default_rng(seed + 1)
+            graph = DynamicGraph(base)
+            tracker = None
+            if strategy != "refactorise":
+                tracker = IncrementalResistance(graph, group,
+                                                refresh_interval=10**9)
+            value = 0.0
+            start = time.perf_counter()
+            for _ in range(repeats):
+                for _ in range(bursts):
+                    if strategy == "sequential":
+                        for _ in range(t):
+                            random_update_journal(graph, 1, rng)
+                            value = tracker.trace()
+                    else:
+                        random_update_journal(graph, t, rng)
+                        if strategy == "batched":
+                            value = tracker.trace()
+                        else:
+                            value = grounded_trace(graph.snapshot(), group)
+            timings[strategy] = time.perf_counter() - start
+            traces[strategy] = value
+
+        spread = max(traces.values()) - min(traces.values())
+        if not spread < 1e-8 * max(1.0, abs(traces["refactorise"])):
+            raise AssertionError(
+                f"strategies disagree at t={t}: {traces} (spread {spread})"
+            )
+        row = {
+            "t": t,
+            "batched_seconds": timings["batched"],
+            "sequential_seconds": timings["sequential"],
+            "refactorise_seconds": timings["refactorise"],
+            "speedup_vs_sequential": timings["sequential"] / timings["batched"]
+            if timings["batched"] else float("inf"),
+            "speedup_vs_refactorise": timings["refactorise"] / timings["batched"]
+            if timings["batched"] else float("inf"),
+        }
+        rows.append(row)
+        if verbose:
+            print(f"t={t:>3}  batched {row['batched_seconds']:.4f}s  "
+                  f"sequential {row['sequential_seconds']:.4f}s  "
+                  f"refactorise {row['refactorise_seconds']:.4f}s  "
+                  f"(x{row['speedup_vs_sequential']:.2f} vs sequential, "
+                  f"x{row['speedup_vs_refactorise']:.2f} vs refactorise)")
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Batched vs sequential vs refactorise burst maintenance")
+    parser.add_argument("--n", type=int, default=400, help="graph size")
+    parser.add_argument("--bursts", type=int, default=4,
+                        help="update bursts per repeat")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="stream repetitions per strategy")
+    parser.add_argument("--t", type=int, nargs="+", default=[4, 16, 64],
+                        help="burst sizes to sweep")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes for a CI correctness/rot check")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        rows = run_burst_comparison(n=120, bursts=2, t_values=(4, 16),
+                                    repeats=1, seed=args.seed)
+    else:
+        rows = run_burst_comparison(n=args.n, bursts=args.bursts,
+                                    t_values=tuple(args.t),
+                                    repeats=args.repeats, seed=args.seed)
+    print(f"[bench_dynamic] {len(rows)} burst sizes compared; "
+          "all strategies agreed to 1e-8")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

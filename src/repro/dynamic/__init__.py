@@ -1,31 +1,43 @@
-"""Dynamic-graph engine: incremental CFCC maintenance under edge updates.
+"""Dynamic-graph engine: incremental CFCC maintenance under edge/node updates.
 
 The batch algorithms of the paper solve CFCM on a frozen graph; this package
 keeps their state alive while the graph mutates:
 
 * :class:`DynamicGraph` — journaled mutable wrapper over :class:`repro.Graph`
-  (``add_edge`` / ``remove_edge`` / ``update_weight``, version counters,
-  connectivity guards, cached immutable snapshots);
+  (``add_edge`` / ``remove_edge`` / ``update_weight`` plus ``add_node`` /
+  ``remove_node`` with stable ids, version counters, connectivity guards,
+  journal compaction, cached immutable snapshots with id remapping);
 * :class:`IncrementalResistance` — grounded-Laplacian inverse maintained by
-  O(n²) Sherman–Morrison edge updates with a configurable staleness policy;
+  rank-``t`` Woodbury batches (one BLAS-3 pass per journal suffix) with
+  block-inverse grow/downdate on node events and a configurable staleness
+  policy;
 * :class:`DynamicCFCM` — cached ``query(k, method, eps)`` engine with
-  selectively invalidated forest pools and hit/miss statistics;
-* :mod:`repro.dynamic.workload` — reproducible random update streams for
-  experiments, benchmarks and tests.
+  selectively invalidated forest pools, node-churn-aware eviction and
+  hit/miss/batching statistics;
+* :mod:`repro.dynamic.workload` — reproducible random edge-update and
+  node-churn streams for experiments, benchmarks and tests.
 """
 
-from repro.dynamic.graph import DynamicGraph, EdgeUpdate
+from repro.dynamic.graph import DynamicGraph, EdgeUpdate, GraphUpdate
 from repro.dynamic.resistance import IncrementalResistance, ResistanceStats
 from repro.dynamic.engine import DynamicCFCM, EngineStats
-from repro.dynamic.workload import apply_random_update, random_update_journal
+from repro.dynamic.workload import (
+    apply_random_node_event,
+    apply_random_update,
+    random_churn_journal,
+    random_update_journal,
+)
 
 __all__ = [
     "DynamicGraph",
     "EdgeUpdate",
+    "GraphUpdate",
     "IncrementalResistance",
     "ResistanceStats",
     "DynamicCFCM",
     "EngineStats",
+    "apply_random_node_event",
     "apply_random_update",
+    "random_churn_journal",
     "random_update_journal",
 ]

@@ -14,13 +14,24 @@ state that survive across graph mutations:
    forest structurally valid and instead bumps a drift counter (the stored
    forests remain spanning forests of the new graph but their distribution is
    slightly stale); once drift exceeds ``max_drift`` the pool is flushed.
-   Reweighting flushes immediately — the samplers are unit-resistor.
+   Reweighting flushes immediately — the samplers are unit-resistor.  Node
+   events are structural: an inserted node flushes every pool (stored forests
+   no longer span the graph) and a removed node evicts the pools and trackers
+   whose root set contained it.
 3. **Incremental inverses** — :meth:`evaluate_exact` delegates to a cached
-   :class:`repro.dynamic.IncrementalResistance` per group, which follows the
-   journal with O(n²) Sherman–Morrison steps instead of O(n³) inversions.
+   :class:`repro.dynamic.IncrementalResistance` per group, which folds each
+   pending journal suffix in as a single rank-``t`` Woodbury batch (O(n²t),
+   one BLAS-3 pass) instead of O(n³) inversions, growing/downdating rows on
+   node events.
 
-Hit/miss and kept/resampled counters are exposed via :attr:`stats` so
-operators can see whether the caches earn their memory.
+The engine also *bounds the journal*: after each synchronisation it asks the
+graph to :meth:`~repro.dynamic.DynamicGraph.compact` the prefix every cached
+consumer has already seen, so a long-running service's journal stays flat.
+(External consumers of the same graph that fall behind a compaction rebuild
+from the snapshot — see :meth:`DynamicGraph.journal_since`.)
+
+Hit/miss, kept/resampled and batching counters are exposed via :attr:`stats`
+so operators can see whether the caches earn their memory.
 """
 
 from __future__ import annotations
@@ -30,16 +41,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.exceptions import InvalidParameterError
+from repro.exceptions import GraphError, InvalidParameterError
 from repro.centrality.estimators import ForestAccumulator, SamplingConfig
 from repro.centrality.result import CFCMResult
-from repro.dynamic.graph import ADD, REMOVE, DynamicGraph
+from repro.dynamic.graph import ADD, ADD_NODE, REMOVE, REMOVE_NODE, DynamicGraph
 from repro.dynamic.resistance import IncrementalResistance
 from repro.graph.graph import Graph
 from repro.sampling.forest import Forest
 from repro.sampling.wilson import sample_rooted_forest
 from repro.utils.rng import RandomState, as_rng
-from repro.utils.validation import check_group, check_integer
+from repro.utils.validation import check_integer
 
 
 @dataclass
@@ -53,6 +64,9 @@ class EngineStats:
     forests_kept: int = 0
     forests_resampled: int = 0
     pools_flushed: int = 0
+    batch_updates: int = 0
+    batched_events: int = 0
+    node_evictions: int = 0
 
     def hit_rate(self) -> float:
         """Fraction of ``query`` calls answered from cache."""
@@ -68,6 +82,9 @@ class EngineStats:
             "forests_kept": self.forests_kept,
             "forests_resampled": self.forests_resampled,
             "pools_flushed": self.pools_flushed,
+            "batch_updates": self.batch_updates,
+            "batched_events": self.batched_events,
+            "node_evictions": self.node_evictions,
             "hit_rate": self.hit_rate(),
         }
 
@@ -82,13 +99,14 @@ class _ForestPool:
 
 
 class DynamicCFCM:
-    """Query engine maintaining CFCM state across edge updates.
+    """Query engine maintaining CFCM state across edge and node updates.
 
     Parameters
     ----------
     graph:
         A :class:`DynamicGraph` (a plain connected :class:`repro.Graph` is
-        wrapped automatically).
+        wrapped automatically).  Groups and query results use the dynamic
+        graph's *stable* node ids throughout, also after node churn.
     seed:
         Master seed; every cache miss derives an independent child seed so
         results are reproducible for a fixed call sequence.
@@ -141,7 +159,9 @@ class DynamicCFCM:
 
         Parameters mirror :func:`repro.maximize_cfcc`; the result of a miss
         is computed by the corresponding batch algorithm on the current
-        snapshot and memoised until the next mutation.
+        snapshot and memoised until the next mutation.  ``result.group``
+        holds stable node ids (snapshot ids are translated back after node
+        churn).
         """
         from repro.centrality.api import maximize_cfcc, validate_cfcm_parameters
 
@@ -156,7 +176,16 @@ class DynamicCFCM:
                 "to 1 (weighted graphs are supported for evaluation via "
                 "evaluate_exact only)"
             )
-        key = (k, str(method).lower(), round(float(eps), 9), str(evaluate))
+        # Keep the pool/tracker state machine and journal compaction moving
+        # under query-only traffic too, or the journal would grow unboundedly
+        # in a service that never calls the evaluate paths.
+        self._sync_pools()
+        # True and "exact" request the same evaluation; normalising the key
+        # keeps them from occupying two cache slots for one result.
+        if evaluate is True:
+            evaluate = "exact"
+        key = (k, str(method).lower(), round(float(eps), 9),
+               str(evaluate) if evaluate else "")
         cached = self._query_cache.get(key)
         if cached is not None and cached[0] == self.graph.version:
             self.stats.query_hits += 1
@@ -167,6 +196,15 @@ class DynamicCFCM:
         result = maximize_cfcc(self.graph.snapshot(), k, method=method, eps=eps,
                                seed=child_seed, config=self.config,
                                evaluate=evaluate)
+        mapping = self.graph.snapshot_mapping()
+        if int(mapping[-1]) != mapping.size - 1:
+            # Node churn left holes in the id space: translate the snapshot's
+            # compact ids back to the stable ids callers reason in — in the
+            # group and in the per-iteration diagnostics alike.
+            result.group = [int(mapping[node]) for node in result.group]
+            for entry in result.iteration_log:
+                if "node" in entry:
+                    entry["node"] = int(mapping[entry["node"]])
         _lru_store(self._query_cache, key, (self.graph.version, result),
                    self.cache_capacity)
         return result
@@ -174,9 +212,10 @@ class DynamicCFCM:
     def evaluate(self, group: Sequence[int], mode: str = "exact") -> float:
         """Group CFCC of ``group`` on the current graph.
 
-        ``mode="exact"`` uses the incremental grounded inverse (O(n²) per
-        pending update); ``mode="forest"`` uses the selectively invalidated
-        forest pool (estimator accuracy grows with ``pool_size``).
+        ``mode="exact"`` uses the incremental grounded inverse (one rank-``t``
+        Woodbury batch per pending journal suffix); ``mode="forest"`` uses the
+        selectively invalidated forest pool (estimator accuracy grows with
+        ``pool_size``).
         """
         mode = str(mode).lower()
         if mode == "exact":
@@ -187,13 +226,22 @@ class DynamicCFCM:
 
     def evaluate_exact(self, group: Sequence[int]) -> float:
         """Exact group CFCC via the per-group incremental inverse."""
-        key = tuple(check_group(group, self.graph.n))
+        self._sync_pools()
+        key = self.graph.validate_group(group)
         tracker = self._trackers.get(key)
         if tracker is None:
+            self.stats.eval_misses += 1
             tracker = IncrementalResistance(self.graph, key,
                                             refresh_interval=self.refresh_interval)
+        else:
+            self.stats.eval_hits += 1
         _lru_store(self._trackers, key, tracker, self.cache_capacity)
-        return tracker.group_cfcc()
+        batches = tracker.stats.batch_updates
+        events = tracker.stats.batched_events
+        value = tracker.group_cfcc()
+        self.stats.batch_updates += tracker.stats.batch_updates - batches
+        self.stats.batched_events += tracker.stats.batched_events - events
+        return value
 
     def evaluate_forest(self, group: Sequence[int]) -> float:
         """Estimated group CFCC from the (selectively invalidated) forest pool.
@@ -205,7 +253,7 @@ class DynamicCFCM:
             raise InvalidParameterError(
                 "forest evaluation assumes unit edge weights; use mode='exact'"
             )
-        roots = tuple(check_group(group, self.graph.n))
+        roots = self.graph.validate_group(group)
         self._sync_pools()
         cache_key = ("forest", roots)
         cached = self._eval_cache.get(cache_key)
@@ -220,6 +268,10 @@ class DynamicCFCM:
             pool = _ForestPool(roots=roots)
         _lru_store(self._pools, roots, pool, self.cache_capacity)
         snapshot = self.graph.snapshot()
+        # Forests are stored in the snapshot's compact id space; pools only
+        # survive edge events (node events flush them), so the mapping in
+        # force when a forest was sampled is the mapping in force now.
+        compact_roots = self.graph.compact_nodes(roots)
         if not pool.forests:
             # An empty pool is refilled entirely from the current snapshot
             # below, so whatever drift the old samples had accumulated is gone.
@@ -227,11 +279,11 @@ class DynamicCFCM:
         self.stats.forests_kept += len(pool.forests)
         while len(pool.forests) < self.pool_size:
             pool.forests.append(
-                sample_rooted_forest(snapshot, list(roots), seed=self.rng)
+                sample_rooted_forest(snapshot, compact_roots, seed=self.rng)
             )
             self.stats.forests_resampled += 1
 
-        accumulator = ForestAccumulator(snapshot, list(roots), seed=self.rng)
+        accumulator = ForestAccumulator(snapshot, compact_roots, seed=self.rng)
         for forest in pool.forests:
             accumulator.add_forest(forest)
         trace = float(np.sum(accumulator.diag_estimates()))
@@ -242,29 +294,86 @@ class DynamicCFCM:
 
     # ------------------------------------------------------------ maintenance
     def _sync_pools(self) -> None:
-        """Replay pending journal events onto every forest pool."""
-        events = self.graph.journal_since(self._pool_version)
-        if not events:
-            return
+        """Replay pending journal events onto every cached consumer.
+
+        Edge events invalidate forest pools selectively; node events are
+        structural (flush pools wholesale, evict pools/trackers whose root
+        set lost a node).  Afterwards the journal prefix every cached
+        consumer has seen is compacted away.
+        """
+        try:
+            events = self.graph.journal_since(self._pool_version)
+        except GraphError:
+            # Another consumer compacted the journal past our cursor; the
+            # replay is lost, so conservatively flush every pool and resume
+            # from the current version (trackers recover the same way).
+            for pool in self._pools.values():
+                self._flush_pool(pool)
+            self._pool_version = self.graph.version
+            events = []
+        for event in events:
+            if event.kind == ADD_NODE:
+                for pool in self._pools.values():
+                    self._flush_pool(pool)
+            elif event.kind == REMOVE_NODE:
+                self._evict_node(int(event.node))
+            elif event.kind == ADD:
+                for pool in self._pools.values():
+                    if pool.forests or pool.drift:
+                        pool.drift += 1
+            elif event.kind == REMOVE:
+                cu, cv = self._compact_endpoints(event.u, event.v)
+                if cu is None:
+                    continue  # an endpoint is gone; a later node event flushes
+                for pool in self._pools.values():
+                    pool.forests = [f for f in pool.forests
+                                    if not _forest_uses_edge(f, cu, cv)]
+            else:  # reweight: unit-resistor samples are no longer valid
+                for pool in self._pools.values():
+                    self._flush_pool(pool)
         for pool in self._pools.values():
-            for event in events:
-                if not pool.forests and pool.drift == 0:
-                    break
-                if event.kind == REMOVE:
-                    survivors = [f for f in pool.forests
-                                 if not _forest_uses_edge(f, event.u, event.v)]
-                    pool.forests = survivors
-                elif event.kind == ADD:
-                    pool.drift += 1
-                else:  # reweight: unit-resistor samples are no longer valid
-                    pool.forests = []
-                    pool.drift = 0
-                    self.stats.pools_flushed += 1
             if pool.drift > self.max_drift:
-                pool.forests = []
-                pool.drift = 0
-                self.stats.pools_flushed += 1
-        self._pool_version = self.graph.version
+                self._flush_pool(pool)
+        if events:
+            self._pool_version = self.graph.version
+        self._compact_journal()
+
+    def _flush_pool(self, pool: _ForestPool) -> None:
+        if pool.forests or pool.drift:
+            pool.forests = []
+            pool.drift = 0
+            self.stats.pools_flushed += 1
+
+    def _evict_node(self, node: int) -> None:
+        """Drop cached state referencing a removed node."""
+        for roots in [r for r in self._pools if node in r]:
+            del self._pools[roots]
+            self.stats.node_evictions += 1
+        for group in [g for g in self._trackers if node in g]:
+            del self._trackers[group]
+            self.stats.node_evictions += 1
+        # Surviving pools' forests no longer span a valid snapshot id space.
+        for pool in self._pools.values():
+            self._flush_pool(pool)
+
+    def _compact_endpoints(self, u: int, v: int) -> Tuple[Optional[int], Optional[int]]:
+        if not (self.graph.has_node(u) and self.graph.has_node(v)):
+            return None, None
+        return self.graph.compact_index(u), self.graph.compact_index(v)
+
+    def _compact_journal(self) -> None:
+        """Ask the graph to drop the journal prefix all consumers have seen.
+
+        A cached tracker lagging more than ``refresh_interval`` events will
+        refresh from the snapshot rather than replay on its next sync, so it
+        never needs the old suffix — don't let it pin the floor (and the
+        journal's memory) at its stale version forever.
+        """
+        lag_floor = self.graph.version - self.refresh_interval
+        floor = self._pool_version
+        for tracker in self._trackers.values():
+            floor = min(floor, max(tracker.synced_version, lag_floor))
+        self.graph.compact(floor)
 
 
 def _forest_uses_edge(forest: Forest, u: int, v: int) -> bool:

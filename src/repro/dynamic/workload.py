@@ -1,24 +1,32 @@
-"""Random edge-update workloads for the dynamic engine.
+"""Random update workloads for the dynamic engine.
 
 Experiments, benchmarks and tests all need the same thing: a stream of valid
 random mutations of a :class:`DynamicGraph` (insertions of absent edges,
-deletions that respect the connectivity guard).  Centralising the generator
-keeps the workloads reproducible and the retry logic (skip bridges, skip
-duplicate inserts) in one place.
+deletions that respect the connectivity guard, node churn that keeps the
+graph connected).  Centralising the generators keeps the workloads
+reproducible and the retry logic (skip bridges, skip duplicate inserts, skip
+cut vertices) in one place.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Iterable, List, Optional
 
-from repro.exceptions import DisconnectedGraphError
-from repro.dynamic.graph import DynamicGraph, EdgeUpdate
+from repro.exceptions import DisconnectedGraphError, GraphError
+from repro.dynamic.graph import DynamicGraph, GraphUpdate
 from repro.utils.rng import RandomState, as_rng
+
+
+def _random_nodes(graph: DynamicGraph, rng, size: int):
+    """Draw ``size`` (not necessarily distinct) active stable node ids."""
+    ids = graph.node_ids()
+    picks = rng.integers(0, ids.size, size=size)
+    return [int(ids[p]) for p in picks]
 
 
 def apply_random_update(graph: DynamicGraph, rng: RandomState = None,
                         add_probability: float = 0.5,
-                        max_attempts: int = 64) -> Optional[EdgeUpdate]:
+                        max_attempts: int = 64) -> Optional[GraphUpdate]:
     """Apply one random valid edge insertion or deletion; returns the event.
 
     Deletions that would disconnect the graph are retried on another random
@@ -30,7 +38,7 @@ def apply_random_update(graph: DynamicGraph, rng: RandomState = None,
     want_add = bool(rng.random() < add_probability)
     for kind in (want_add, not want_add):
         for _ in range(max_attempts):
-            u, v = (int(x) for x in rng.integers(0, graph.n, size=2))
+            u, v = _random_nodes(graph, rng, 2)
             if u == v:
                 continue
             if kind:
@@ -46,14 +54,76 @@ def apply_random_update(graph: DynamicGraph, rng: RandomState = None,
     return None
 
 
+def apply_random_node_event(graph: DynamicGraph, rng: RandomState = None,
+                            add_probability: float = 0.5,
+                            max_attachments: int = 3,
+                            max_attempts: int = 64,
+                            protected: Optional[Iterable[int]] = None
+                            ) -> Optional[GraphUpdate]:
+    """Apply one random valid node insertion or removal; returns the event.
+
+    Insertions attach the new node to 1 .. ``max_attachments`` distinct
+    random existing nodes (unit weights).  Removals pick a random node whose
+    departure keeps the graph connected; cut vertices — and ``protected``
+    nodes, typically the group a monitoring consumer is grounded at — are
+    retried.  As in :func:`apply_random_update`, the opposite kind is
+    attempted before giving up with ``None``.
+    """
+    rng = as_rng(rng)
+    immune = frozenset(int(v) for v in protected) if protected else frozenset()
+    want_add = bool(rng.random() < add_probability)
+    for kind in (want_add, not want_add):
+        for _ in range(max_attempts):
+            if kind:
+                count = int(rng.integers(1, max_attachments + 1))
+                neighbours = set(_random_nodes(graph, rng, count))
+                return graph.add_node(sorted(neighbours))
+            (candidate,) = _random_nodes(graph, rng, 1)
+            if candidate in immune:
+                continue
+            try:
+                return graph.remove_node(candidate)
+            except (DisconnectedGraphError, GraphError):
+                continue
+    return None
+
+
 def random_update_journal(graph: DynamicGraph, count: int,
                           rng: RandomState = None,
-                          add_probability: float = 0.5) -> List[EdgeUpdate]:
-    """Apply ``count`` random mutations, returning the applied events."""
+                          add_probability: float = 0.5) -> List[GraphUpdate]:
+    """Apply ``count`` random edge mutations, returning the applied events."""
     rng = as_rng(rng)
-    events: List[EdgeUpdate] = []
+    events: List[GraphUpdate] = []
     for _ in range(int(count)):
         event = apply_random_update(graph, rng, add_probability=add_probability)
+        if event is not None:
+            events.append(event)
+    return events
+
+
+def random_churn_journal(graph: DynamicGraph, count: int,
+                         rng: RandomState = None,
+                         add_probability: float = 0.5,
+                         node_probability: float = 0.2,
+                         protected: Optional[Iterable[int]] = None
+                         ) -> List[GraphUpdate]:
+    """Apply ``count`` random mixed edge/node mutations (the bursty regime).
+
+    Each event is a node event with probability ``node_probability`` (a
+    join/leave stream of peers, intersections, ...) and an edge event
+    otherwise; ``add_probability`` biases both kinds towards growth and
+    ``protected`` nodes are never removed.
+    """
+    rng = as_rng(rng)
+    events: List[GraphUpdate] = []
+    for _ in range(int(count)):
+        if rng.random() < node_probability:
+            event = apply_random_node_event(graph, rng,
+                                            add_probability=add_probability,
+                                            protected=protected)
+        else:
+            event = apply_random_update(graph, rng,
+                                        add_probability=add_probability)
         if event is not None:
             events.append(event)
     return events

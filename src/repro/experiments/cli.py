@@ -46,6 +46,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0, help="random seed")
     parser.add_argument("--max-samples", type=int, default=96,
                         help="per-call cap on sampled spanning forests")
+    parser.add_argument("--batch", type=int, default=1,
+                        help="events per update burst for the dynamic study "
+                             "(each burst syncs as one rank-t Woodbury update)")
+    parser.add_argument("--node-churn", type=float, default=0.0,
+                        help="fraction of dynamic-study events that add/remove "
+                             "a node instead of an edge")
     parser.add_argument("--quick", action="store_true",
                         help="shrink sweeps for a fast smoke run")
     parser.add_argument("--output-json", default=None,
@@ -85,5 +91,6 @@ def main(argv: Optional[List[str]] = None) -> int:
     if name == "dynamic":
         run_dynamic(k=k, eps=args.eps, max_samples=args.max_samples,
                     seed=args.seed, scale=args.scale, quick=args.quick,
+                    batch=args.batch, node_churn=args.node_churn,
                     output_json=args.output_json)
     return 0

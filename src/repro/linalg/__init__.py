@@ -18,8 +18,10 @@ from repro.linalg.schur import (
 from repro.linalg.incidence import incidence_factor, grounded_incidence_factor
 from repro.linalg.updates import (
     grounded_inverse,
+    grounded_inverse_block_update,
     grounded_inverse_downdate,
     grounded_inverse_edge_update,
+    grounded_inverse_grow,
 )
 from repro.linalg.sparsify import (
     SparsifiedGraph,
@@ -45,8 +47,10 @@ __all__ = [
     "incidence_factor",
     "grounded_incidence_factor",
     "grounded_inverse",
+    "grounded_inverse_block_update",
     "grounded_inverse_downdate",
     "grounded_inverse_edge_update",
+    "grounded_inverse_grow",
     "SparsifiedGraph",
     "spectral_relative_error",
     "spectral_sparsify",

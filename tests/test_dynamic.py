@@ -190,7 +190,11 @@ class TestIncrementalResistance:
         assert tracker.trace() == pytest.approx(
             grounded_trace(graph.snapshot(), [0, 5]), rel=1e-9
         )
-        assert tracker.stats.rank1_updates == 50
+        # The whole 50-event suffix folds in as a single rank-50 Woodbury
+        # batch (no chained rank-1 steps, no refresh).
+        assert tracker.stats.batch_updates == 1
+        assert tracker.stats.batched_events == 50
+        assert tracker.stats.rank1_updates == 0
         assert tracker.stats.refreshes == 0
 
     def test_refresh_policy_triggers(self, small_ba):

@@ -67,6 +67,17 @@ def test_dynamic_road_closures_example(capsys):
 
 
 @pytest.mark.slow
+def test_p2p_peer_churn_example(capsys):
+    output = run_example("p2p_peer_churn.py",
+                         ["--peers", "80", "--replicas", "3", "--bursts", "3",
+                          "--burst-size", "8"], capsys)
+    assert "Overlay" in output
+    assert "Initial replicas" in output
+    assert "batch_updates" in output
+    assert "journal retained" in output
+
+
+@pytest.mark.slow
 def test_point_cloud_example(capsys):
     output = run_example("point_cloud_sampling.py",
                          ["--points", "150", "--samples", "4", "--neighbours", "5"],
