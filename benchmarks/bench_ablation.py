@@ -13,7 +13,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.centrality.estimators import SamplingConfig

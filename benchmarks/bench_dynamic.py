@@ -31,6 +31,7 @@ from repro.centrality.api import maximize_cfcc
 from repro.centrality.cfcc import group_cfcc, grounded_trace
 from repro.dynamic import DynamicCFCM, DynamicGraph, IncrementalResistance, \
     random_update_journal
+from repro.experiments.report import write_bench_artifact
 from repro.graph import generators
 
 UPDATE_BURST = 8
@@ -213,15 +214,35 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0, help="random seed")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny sizes for a CI correctness/rot check")
+    parser.add_argument("--output-json", default=None,
+                        help="path of the JSON artifact (default in --smoke "
+                             "mode: BENCH_dynamic.json)")
     args = parser.parse_args(argv)
 
-    if args.smoke:
-        rows = run_burst_comparison(n=120, bursts=2, t_values=(4, 16),
-                                    repeats=1, seed=args.seed)
-    else:
-        rows = run_burst_comparison(n=args.n, bursts=args.bursts,
-                                    t_values=tuple(args.t),
-                                    repeats=args.repeats, seed=args.seed)
+    # Smoke failures must gate CI: exit non-zero with a one-line verdict
+    # instead of only printing (or worse, returning 0 with a traceback in
+    # the log that nothing checks).
+    output = args.output_json
+    try:
+        if args.smoke:
+            output = output or "BENCH_dynamic.json"
+            rows = run_burst_comparison(n=120, bursts=2, t_values=(4, 16),
+                                        repeats=1, seed=args.seed)
+        else:
+            rows = run_burst_comparison(n=args.n, bursts=args.bursts,
+                                        t_values=tuple(args.t),
+                                        repeats=args.repeats, seed=args.seed)
+        for row in rows:
+            for key in ("batched_seconds", "sequential_seconds",
+                        "refactorise_seconds"):
+                if not np.isfinite(row[key]) or row[key] < 0.0:
+                    raise AssertionError(f"non-finite timing {key}={row[key]} "
+                                         f"at t={row['t']}")
+    except AssertionError as exc:
+        print(f"[bench_dynamic] smoke check FAILED: {exc}")
+        return 1
+    if output:
+        write_bench_artifact(rows, output, benchmark="dynamic_bursts")
     print(f"[bench_dynamic] {len(rows)} burst sizes compared; "
           "all strategies agreed to 1e-8")
     return 0

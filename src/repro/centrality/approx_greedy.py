@@ -22,7 +22,7 @@ behaviour the paper's efficiency comparison exercises.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 

@@ -42,7 +42,7 @@ ancestor of ``u`` — an O(1) Euler-tour interval test.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
@@ -51,7 +51,6 @@ from repro.exceptions import InvalidParameterError
 from repro.graph.graph import Graph
 from repro.graph.traversal import BFSTree, bfs_tree
 from repro.linalg.jl import jl_dimension
-from repro.sampling.bernstein import empirical_bernstein_bound
 from repro.sampling.wilson import sample_rooted_forest
 from repro.utils.rng import RandomState, as_rng
 

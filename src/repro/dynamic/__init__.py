@@ -15,17 +15,23 @@ keeps their state alive while the graph mutates:
   selectively invalidated forest pools, node-churn-aware eviction and
   hit/miss/batching statistics;
 * :mod:`repro.dynamic.workload` — reproducible random edge-update and
-  node-churn streams for experiments, benchmarks and tests.
+  node-churn streams for experiments, benchmarks and tests, plus the async
+  Poisson traffic driver and journal replay used with
+  :class:`repro.service.AsyncCFCMService`.
 """
 
 from repro.dynamic.graph import DynamicGraph, EdgeUpdate, GraphUpdate
 from repro.dynamic.resistance import IncrementalResistance, ResistanceStats
 from repro.dynamic.engine import DynamicCFCM, EngineStats
 from repro.dynamic.workload import (
+    TrafficReport,
+    apply_event,
     apply_random_node_event,
     apply_random_update,
+    poisson_traffic,
     random_churn_journal,
     random_update_journal,
+    replay_events,
 )
 
 __all__ = [
@@ -36,8 +42,12 @@ __all__ = [
     "ResistanceStats",
     "DynamicCFCM",
     "EngineStats",
+    "TrafficReport",
+    "apply_event",
     "apply_random_node_event",
     "apply_random_update",
+    "poisson_traffic",
     "random_churn_journal",
     "random_update_journal",
+    "replay_events",
 ]

@@ -153,6 +153,29 @@ class DynamicCFCM:
         """Current version of the underlying dynamic graph."""
         return self.graph.version
 
+    @property
+    def synced_version(self) -> int:
+        """Graph version the cached pools and journal cursor have folded in."""
+        return self._pool_version
+
+    @property
+    def pending_events(self) -> int:
+        """Journal events applied to the graph but not yet seen by the caches."""
+        return self.graph.version - self._pool_version
+
+    def sync(self) -> int:
+        """Fold pending journal events into every cached consumer *now*.
+
+        This is the maintenance half of every query, exposed as a
+        non-blocking hook so a front end (e.g. the asyncio service in
+        :mod:`repro.service`) can pump pool invalidation and journal
+        compaction off the query hot path — between traffic bursts, from a
+        worker thread, without answering anything.  Returns the version the
+        caches now reflect, which callers can use as a consistency token.
+        """
+        self._sync_pools()
+        return self._pool_version
+
     def query(self, k: int, method: str = "schur", eps: float = 0.2,
               evaluate: bool | str = False) -> CFCMResult:
         """Solve CFCM on the current graph, reusing the cache when unchanged.
@@ -277,11 +300,7 @@ class DynamicCFCM:
             # below, so whatever drift the old samples had accumulated is gone.
             pool.drift = 0
         self.stats.forests_kept += len(pool.forests)
-        while len(pool.forests) < self.pool_size:
-            pool.forests.append(
-                sample_rooted_forest(snapshot, compact_roots, seed=self.rng)
-            )
-            self.stats.forests_resampled += 1
+        self._refill(pool, snapshot, compact_roots)
 
         accumulator = ForestAccumulator(snapshot, compact_roots, seed=self.rng)
         for forest in pool.forests:
@@ -292,7 +311,55 @@ class DynamicCFCM:
                    self.cache_capacity)
         return value
 
+    def refill_pool(self, group: Sequence[int], sampler=None) -> int:
+        """Top the forest pool of ``group`` up to ``pool_size``; returns the count.
+
+        The sampling half of :meth:`evaluate_forest`, exposed so a front end
+        can refresh pools ahead of query traffic (prefetching).  ``sampler``
+        optionally overrides how the missing forests are drawn: a callable
+        ``sampler(snapshot, compact_roots, count, seed)`` returning that many
+        :class:`repro.sampling.forest.Forest` objects — the asyncio service
+        passes :func:`repro.sampling.sample_forest_batch` here so Wilson
+        sampling runs on a process pool with reproducible child seeds.
+        """
+        if not self.graph.is_unit_weighted:
+            raise InvalidParameterError(
+                "forest pools assume unit edge weights; use mode='exact'"
+            )
+        roots = self.graph.validate_group(group)
+        self._sync_pools()
+        pool = self._pools.get(roots)
+        if pool is None:
+            pool = _ForestPool(roots=roots)
+        _lru_store(self._pools, roots, pool, self.cache_capacity)
+        if not pool.forests:
+            pool.drift = 0
+        return self._refill(pool, self.graph.snapshot(),
+                            self.graph.compact_nodes(roots), sampler=sampler)
+
     # ------------------------------------------------------------ maintenance
+    def _refill(self, pool: _ForestPool, snapshot: Graph,
+                compact_roots: Sequence[int], sampler=None) -> int:
+        """Sample forests until ``pool`` holds ``pool_size`` of them."""
+        missing = self.pool_size - len(pool.forests)
+        if missing <= 0:
+            return 0
+        if sampler is None:
+            for _ in range(missing):
+                pool.forests.append(
+                    sample_rooted_forest(snapshot, compact_roots, seed=self.rng)
+                )
+        else:
+            child_seed = int(self.rng.integers(0, 2**62))
+            forests = list(sampler(snapshot, compact_roots, missing, child_seed))
+            if len(forests) != missing:
+                raise InvalidParameterError(
+                    f"sampler returned {len(forests)} forests, expected {missing}"
+                )
+            pool.forests.extend(forests)
+        self.stats.forests_resampled += missing
+        return missing
+
     def _sync_pools(self) -> None:
         """Replay pending journal events onto every cached consumer.
 

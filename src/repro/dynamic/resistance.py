@@ -47,7 +47,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.exceptions import GraphError, InvalidParameterError
-from repro.dynamic.graph import ADD_NODE, REMOVE_NODE, DynamicGraph, GraphUpdate
+from repro.dynamic.graph import ADD_NODE, DynamicGraph, GraphUpdate
 from repro.linalg.updates import (
     grounded_inverse_block_update,
     grounded_inverse_downdate,

@@ -33,3 +33,15 @@ class ConvergenceError(ReproError):
 
 class NotComputedError(ReproError):
     """Raised when a result attribute is accessed before the algorithm has been run."""
+
+
+class ServiceError(ReproError):
+    """Raised for lifecycle misuse of the asynchronous query service."""
+
+
+class ServiceClosedError(ServiceError):
+    """Raised when a request reaches a service that has been stopped."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Raised when the service's bounded update queue is full (backpressure)."""

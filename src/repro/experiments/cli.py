@@ -6,11 +6,14 @@ Usage::
     python -m repro.experiments fig1
     python -m repro.experiments fig2 --eps 0.2
     python -m repro.experiments dynamic --quick
+    python -m repro.experiments serve --smoke
     python -m repro.experiments all --quick
 
 ``all`` regenerates the paper artefacts (table2 and the five figures); the
-``dynamic`` workload study characterises the incremental engine and is run
-explicitly.
+``dynamic`` workload study characterises the incremental engine and the
+``serve`` study drives the async query service (``--smoke`` additionally
+gates on async/sync equivalence and exits non-zero on a mismatch); both are
+run explicitly.
 """
 
 from __future__ import annotations
@@ -24,9 +27,11 @@ from repro.experiments.figure2 import run_figure2
 from repro.experiments.figure3 import run_figure3
 from repro.experiments.figure4 import run_figure4
 from repro.experiments.figure5 import run_figure5
+from repro.experiments.service import run_service
 from repro.experiments.table2 import run_table2
 
-EXPERIMENTS = ("table2", "fig1", "fig2", "fig3", "fig4", "fig5", "dynamic", "all")
+EXPERIMENTS = ("table2", "fig1", "fig2", "fig3", "fig4", "fig5", "dynamic",
+               "serve", "all")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -52,6 +57,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--node-churn", type=float, default=0.0,
                         help="fraction of dynamic-study events that add/remove "
                              "a node instead of an edge")
+    parser.add_argument("--ops", type=int, default=200,
+                        help="total Poisson arrivals for the serve study")
+    parser.add_argument("--rate", type=float, default=500.0,
+                        help="arrival rate (events/s) for the serve study")
+    parser.add_argument("--query-fraction", type=float, default=0.5,
+                        help="fraction of serve-study arrivals that are queries")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker threads of the async service")
+    parser.add_argument("--smoke", action="store_true",
+                        help="serve study: shrink the workload and gate on "
+                             "async/sync equivalence (non-zero exit on mismatch)")
     parser.add_argument("--quick", action="store_true",
                         help="shrink sweeps for a fast smoke run")
     parser.add_argument("--output-json", default=None,
@@ -93,4 +109,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                     seed=args.seed, scale=args.scale, quick=args.quick,
                     batch=args.batch, node_churn=args.node_churn,
                     output_json=args.output_json)
+    if name == "serve":
+        row = run_service(ops=args.ops, rate=args.rate,
+                          query_fraction=args.query_fraction, k=k,
+                          eps=args.eps, node_churn=args.node_churn,
+                          workers=args.workers, seed=args.seed,
+                          smoke=args.smoke, quick=args.quick,
+                          output_json=args.output_json)
+        return 1 if row["failures"] else 0
     return 0

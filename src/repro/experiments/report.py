@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import json
+import sys
+import time
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -53,3 +55,20 @@ def save_json(payload: object, path: Optional[str]) -> None:
     if path is None:
         return
     Path(path).write_text(json.dumps(payload, indent=2, default=str), encoding="utf-8")
+
+
+def write_bench_artifact(rows: object, path: str, benchmark: str) -> None:
+    """Write one ``BENCH_*.json`` perf-trajectory artifact (see CI).
+
+    The envelope is shared by every benchmark smoke so the per-commit
+    artifacts CI uploads stay schema-compatible over time.
+    """
+    payload = {
+        "benchmark": benchmark,
+        "python": sys.version.split()[0],
+        "unix_time": time.time(),
+        "rows": rows,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True, default=str),
+                          encoding="utf-8")
+    print(f"[{benchmark}] wrote {path}")

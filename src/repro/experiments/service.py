@@ -1,0 +1,218 @@
+"""Async service workload study: throughput/latency under Poisson traffic.
+
+Not a paper artefact — this experiment characterises
+:class:`repro.service.AsyncCFCMService`.  A Poisson stream of mixed traffic
+(selection queries, monitoring evaluations, random update bursts with
+optional node churn) is replayed against the service; the report shows
+throughput, query-latency percentiles and how far the writer coalesced the
+update stream into rank-``t`` batches.
+
+With ``--smoke`` the run doubles as a correctness gate: a sample of the
+version-tagged responses is re-checked against a *fresh synchronous*
+:class:`repro.dynamic.DynamicCFCM` on the journal replayed to the same
+version (tolerance 1e-8 on the exact paths), and the process exits non-zero
+on any mismatch — this is what CI executes.
+
+Run with::
+
+    python -m repro.experiments serve [--smoke] [--ops 200] [--rate 500]
+        [--query-fraction 0.5] [--workers 2] [--node-churn 0.1]
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.dynamic import DynamicCFCM, TrafficReport, poisson_traffic, replay_events
+from repro.experiments.report import format_table, save_json
+from repro.graph import generators
+from repro.graph.graph import Graph
+from repro.service import AsyncCFCMService
+
+
+async def _drive(
+    base: Graph,
+    ops: int,
+    rate: float,
+    query_fraction: float,
+    k: int,
+    eps: float,
+    node_churn: float,
+    workers: int,
+    seed: int,
+) -> Tuple[TrafficReport, float, int, float, Dict, Dict, Tuple[int, ...]]:
+    """Replay one Poisson traffic stream; returns the raw measurements."""
+    monitor = tuple(range(min(3, base.n - 1)))
+    async with AsyncCFCMService(base, seed=seed, workers=workers) as service:
+        started = time.perf_counter()
+        report = await poisson_traffic(
+            service,
+            ops,
+            rng=seed,
+            rate=rate,
+            query_fraction=query_fraction,
+            node_probability=node_churn,
+            k=k,
+            method="exact",
+            eps=eps,
+            monitor_group=monitor,
+        )
+        wall = time.perf_counter() - started
+        final = await service.evaluate(monitor, mode="exact")
+        service_stats = service.stats.as_dict()
+        engine_stats = service.engine.stats.as_dict()
+    return (
+        report,
+        float(final.result),
+        final.version,
+        wall,
+        service_stats,
+        engine_stats,
+        monitor,
+    )
+
+
+def _verify_equivalence(
+    base: Graph,
+    report: TrafficReport,
+    final_value: float,
+    final_version: int,
+    monitor: Tuple[int, ...],
+    max_checks: int = 8,
+) -> List[str]:
+    """Re-check a sample of responses against a fresh synchronous engine."""
+    failures: List[str] = []
+    observations = list(report.eval_observations)
+    if len(observations) > max_checks:
+        stride = max(1, len(observations) // max_checks)
+        observations = observations[::stride][:max_checks]
+    observations.append((final_version, final_value))
+    for version, value in observations:
+        replayed = replay_events(base, report.events, upto_version=version)
+        expected = DynamicCFCM(replayed, seed=0).evaluate_exact(monitor)
+        if not abs(value - expected) <= 1e-8 * max(1.0, abs(expected)):
+            failures.append(
+                f"evaluation at version {version} returned {value!r}, "
+                f"fresh synchronous engine returns {expected!r}"
+            )
+    for version, group in report.query_observations[:max_checks]:
+        replayed = replay_events(base, report.events, upto_version=version)
+        expected = DynamicCFCM(replayed, seed=0).query(len(group), method="exact", eps=0.3)
+        if list(group) != list(expected.group):
+            failures.append(
+                f"selection at version {version} returned group {list(group)}, "
+                f"fresh synchronous engine returns {list(expected.group)}"
+            )
+    return failures
+
+
+def run_service(
+    ops: int = 200,
+    rate: float = 500.0,
+    query_fraction: float = 0.5,
+    k: int = 4,
+    eps: float = 0.3,
+    node_churn: float = 0.0,
+    workers: int = 2,
+    seed: int = 0,
+    n: int = 240,
+    smoke: bool = False,
+    quick: bool = False,
+    verbose: bool = True,
+    output_json: Optional[str] = None,
+) -> Dict[str, object]:
+    """Execute the service study; returns one row (with a ``failures`` list).
+
+    ``smoke`` shrinks the workload and enables the equivalence gate: any
+    mismatch against the fresh synchronous engine lands in ``failures`` and
+    the CLI exits non-zero.
+    """
+    if quick or smoke:
+        n = min(n, 140)
+        ops = min(ops, 80)
+        k = min(k, 3)
+    base = generators.barabasi_albert(n, 3, seed=seed)
+    measured = asyncio.run(
+        _drive(base, ops, rate, query_fraction, k, eps, node_churn, workers, seed)
+    )
+    report, final_value, final_version, wall, service_stats, engine_stats, monitor = measured
+
+    failures: List[str] = []
+    if smoke:
+        failures = _verify_equivalence(base, report, final_value, final_version, monitor)
+
+    answered = report.queries + report.evaluations
+    completed = answered + report.updates_applied + report.updates_failed
+    query_lat = report.latency_percentiles("query")
+    update_lat = report.latency_percentiles("update")
+    row: Dict[str, object] = {
+        "n": n,
+        "ops": ops,
+        "rate": rate,
+        "query_fraction": query_fraction,
+        "node_churn": node_churn,
+        "workers": workers,
+        "wall_seconds": wall,
+        "throughput_ops_per_s": completed / wall if wall else None,
+        "queries": report.queries,
+        "evaluations": report.evaluations,
+        "updates_applied": report.updates_applied,
+        "updates_failed": report.updates_failed,
+        "updates_rejected": report.updates_rejected,
+        "query_p50_ms": query_lat["p50"] * 1e3,
+        "query_p95_ms": query_lat["p95"] * 1e3,
+        "query_p99_ms": query_lat["p99"] * 1e3,
+        "update_p95_ms": update_lat["p95"] * 1e3,
+        "final_version": final_version,
+        "mean_batch_size": service_stats["mean_batch_size"],
+        "engine_batched_events": engine_stats["batched_events"],
+        "engine_hit_rate": engine_stats["hit_rate"],
+        "failures": failures,
+    }
+    if verbose:
+        print(render_service(row))
+        if smoke:
+            if failures:
+                for failure in failures:
+                    print(f"[serve] SMOKE FAILURE: {failure}")
+            else:
+                print(
+                    "[serve] smoke equivalence OK: async responses match a "
+                    "fresh synchronous engine at the same journal version"
+                )
+    save_json(row, output_json)
+    return row
+
+
+def render_service(row: Dict[str, object]) -> str:
+    """Format the service study row as plain text."""
+    headers = [
+        "ops",
+        "wall(s)",
+        "ops/s",
+        "q p50(ms)",
+        "q p95(ms)",
+        "q p99(ms)",
+        "batch size",
+        "hit rate",
+    ]
+    table_rows = [
+        [
+            f"{row['queries']}q/{row['evaluations']}e/{row['updates_applied']}u",
+            row["wall_seconds"],
+            row["throughput_ops_per_s"],
+            row["query_p50_ms"],
+            row["query_p95_ms"],
+            row["query_p99_ms"],
+            row["mean_batch_size"],
+            row["engine_hit_rate"],
+        ]
+    ]
+    title = (
+        f"Async CFCM service under Poisson traffic (n={row['n']}, "
+        f"rate={row['rate']}/s, query_fraction={row['query_fraction']}, "
+        f"workers={row['workers']}, node_churn={row['node_churn']})"
+    )
+    return f"{title}\n" + format_table(headers, table_rows)

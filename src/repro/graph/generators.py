@@ -13,7 +13,7 @@ integer seed or :class:`numpy.random.Generator` for reproducibility.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

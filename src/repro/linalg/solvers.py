@@ -17,7 +17,7 @@ uniform ``solve`` interface for one or many right-hand sides.
 from __future__ import annotations
 
 from enum import Enum
-from typing import Optional, Sequence, Union
+from typing import Optional, Union
 
 import numpy as np
 import scipy.sparse as sp

@@ -14,7 +14,7 @@ sizes used in this reproduction.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 

@@ -1,0 +1,107 @@
+"""Bounded worker layer running blocking engine work off the event loop.
+
+The engine's heavy kernels are dense linear algebra (NumPy releases the GIL
+inside BLAS) plus pure-Python Wilson sampling (GIL-bound).  The pool
+therefore runs engine calls on a bounded :class:`ThreadPoolExecutor` —
+threads share the engine state that the service guards with its own lock —
+and offers :meth:`sample_forests`, which fans the GIL-bound forest sampling
+out to a :class:`ProcessPoolExecutor` (via
+:func:`repro.sampling.sample_forest_batch`) when ``process_workers`` is set.
+
+Cancellation semantics: a thread cannot be interrupted, so cancelling a task
+that awaits :meth:`run` abandons the future — the work finishes (or is
+skipped if it never started) in the background and its result or error is
+consumed silently.  The service keeps state consistent regardless, because
+every engine touch happens under its state lock *inside* the worker
+function.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import functools
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, List, Sequence
+
+from repro.exceptions import ServiceClosedError
+from repro.graph.graph import Graph
+from repro.sampling.forest import Forest
+from repro.sampling.parallel import sample_forest_batch
+
+
+def _consume(future: concurrent.futures.Future) -> None:
+    """Swallow the outcome of an abandoned future (done-callback)."""
+    if future.cancelled():
+        return
+    future.exception()
+
+
+class WorkerPool:
+    """Bounded executor front end with graceful shutdown.
+
+    Parameters
+    ----------
+    workers:
+        Thread count for engine work (evaluation, selection, maintenance).
+    process_workers:
+        When positive, :meth:`sample_forests` distributes Wilson sampling
+        over that many processes; ``0`` samples in the calling thread.
+    """
+
+    def __init__(self, workers: int = 2, process_workers: int = 0):
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if process_workers < 0:
+            raise ValueError("process_workers must be non-negative")
+        self.workers = int(workers)
+        self.process_workers = int(process_workers)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="cfcm-worker"
+        )
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    async def run(self, fn: Callable[..., Any], *args: Any) -> Any:
+        """Run ``fn(*args)`` on the thread pool and await its result.
+
+        On cancellation the future is cancelled if it never started;
+        otherwise the thread finishes in the background and its outcome is
+        consumed, so no "exception was never retrieved" noise escapes.
+        """
+        if self._closed:
+            raise ServiceClosedError("worker pool is closed")
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(self._executor, functools.partial(fn, *args))
+        try:
+            return await asyncio.shield(future)
+        except asyncio.CancelledError:
+            if not future.cancel():
+                future.add_done_callback(_consume)
+            raise
+
+    def sample_forests(
+        self, graph: Graph, roots: Sequence[int], count: int, seed: int
+    ) -> List[Forest]:
+        """Draw ``count`` rooted forests, on processes when configured.
+
+        Matches the ``sampler(snapshot, compact_roots, count, seed)``
+        signature of :meth:`repro.dynamic.DynamicCFCM.refill_pool`; the
+        per-forest child seeds are derived reproducibly, so the batch is
+        identical however many processes draw it.
+        """
+        workers = self.process_workers if self.process_workers > 0 else None
+        return sample_forest_batch(graph, roots, count, seed=seed, workers=workers)
+
+    async def close(self) -> None:
+        """Reject new work and wait for in-flight work to finish."""
+        if self._closed:
+            return
+        self._closed = True
+        await asyncio.get_running_loop().run_in_executor(
+            None, functools.partial(self._executor.shutdown, wait=True)
+        )

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.exceptions import InvalidParameterError
-from repro.graph import datasets, generators
+from repro.graph import datasets
 from repro.centrality.api import maximize_cfcc
 from repro.centrality.approx_greedy import ApproxGreedy
 from repro.centrality.cfcc import group_cfcc

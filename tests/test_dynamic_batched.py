@@ -4,8 +4,6 @@ batches, block-inverse grow, and the fully mutable node set."""
 import numpy as np
 import pytest
 
-import repro
-from repro.centrality.cfcc import grounded_trace
 from repro.dynamic import (
     DynamicCFCM,
     DynamicGraph,

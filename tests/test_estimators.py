@@ -16,7 +16,7 @@ from repro.centrality.estimators import (
 )
 from repro.centrality.marginal import marginal_gains_all
 from repro.linalg.pseudoinverse import pseudoinverse_diagonal
-from repro.linalg.schur import absorption_probabilities, grounded_inverse_block
+from repro.linalg.schur import absorption_probabilities
 from repro.linalg.updates import grounded_inverse
 
 

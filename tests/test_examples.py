@@ -78,6 +78,17 @@ def test_p2p_peer_churn_example(capsys):
 
 
 @pytest.mark.slow
+def test_async_traffic_replay_example(capsys):
+    output = run_example("async_traffic_replay.py",
+                         ["--nodes", "90", "--ops", "60", "--probes", "3"],
+                         capsys)
+    assert "Async CFCM service" in output
+    assert "Query latency" in output
+    assert "Journal replay" in output
+    assert "MATCH" in output
+
+
+@pytest.mark.slow
 def test_point_cloud_example(capsys):
     output = run_example("point_cloud_sampling.py",
                          ["--points", "150", "--samples", "4", "--neighbours", "5"],

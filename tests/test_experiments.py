@@ -185,3 +185,33 @@ class TestCli:
             ["fig4", "--k", "5", "--eps", "0.3", "--quick", "--max-samples", "16"]
         )
         assert args.k == 5 and args.quick and args.max_samples == 16
+
+    def test_parser_serve_options(self):
+        args = build_parser().parse_args(
+            ["serve", "--smoke", "--ops", "40", "--rate", "250",
+             "--query-fraction", "0.4", "--workers", "3"]
+        )
+        assert args.experiment == "serve"
+        assert args.smoke and args.ops == 40 and args.workers == 3
+        assert args.rate == 250.0 and args.query_fraction == 0.4
+
+
+class TestServeStudy:
+    def test_run_service_smoke_gate(self, tmp_path):
+        from repro.experiments.service import run_service
+
+        path = tmp_path / "serve.json"
+        row = run_service(ops=30, rate=400.0, query_fraction=0.5, workers=2,
+                          seed=1, n=60, smoke=True, verbose=False,
+                          output_json=str(path))
+        assert row["failures"] == []
+        assert row["updates_applied"] + row["queries"] + row["evaluations"] > 0
+        saved = json.loads(path.read_text())
+        assert saved["final_version"] == row["final_version"]
+
+    def test_serve_via_main_exits_zero(self, capsys):
+        code = main(["serve", "--smoke", "--ops", "24", "--seed", "2"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Async CFCM service" in output
+        assert "smoke equivalence OK" in output

@@ -5,8 +5,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.exceptions import GraphError
-from repro.graph import generators
-from repro.graph.graph import Graph
 from repro.sampling.forest import Forest
 
 
@@ -116,7 +114,6 @@ class TestSubtreeSums:
 
 class TestValidation:
     def test_validate_against_graph(self, karate):
-        parent = np.full(karate.n, -1)
         # Build a BFS tree by hand via the traversal module.
         from repro.graph.traversal import bfs_tree
 

@@ -5,7 +5,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.exceptions import InvalidParameterError
-from repro.graph import generators
 from repro.linalg.incidence import grounded_incidence_factor, incidence_factor
 from repro.linalg.jl import JLProjection, approx_column_norms, jl_dimension
 from repro.linalg.laplacian import grounded_laplacian_dense, laplacian_dense

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.exceptions import InvalidParameterError
-from repro.graph import generators
 from repro.linalg.laplacian import (
     complement_indices,
     grounded_laplacian,

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.exceptions import InvalidParameterError
-from repro.graph import generators
 from repro.centrality.evaluation import (
     approximation_ratio,
     compare_methods,
