@@ -51,6 +51,11 @@ from repro.exceptions import InvalidParameterError
 from repro.graph.graph import Graph
 from repro.graph.traversal import BFSTree, bfs_tree
 from repro.linalg.jl import jl_dimension
+from repro.sampling.batch import (
+    ForestBatch,
+    LOCKSTEP_STATE_LIMIT,
+    sample_forest_batch_vectorized,
+)
 from repro.sampling.wilson import sample_rooted_forest
 from repro.utils.rng import RandomState, as_rng
 
@@ -204,10 +209,32 @@ class ForestAccumulator:
 
     # ----------------------------------------------------------------- sampling
     def add_samples(self, batch_size: int) -> None:
-        """Sample ``batch_size`` forests and fold them into the running sums."""
-        for _ in range(int(batch_size)):
-            forest = sample_rooted_forest(self.graph, self.roots, seed=self.rng)
-            self._process(forest)
+        """Sample ``batch_size`` forests and fold them into the running sums.
+
+        Batches of two or more are drawn with the lockstep vectorised
+        sampler (in chunks sized so the batched subtree-sum tensor stays
+        memory-bounded) and folded through :meth:`add_batch`; a single
+        sample falls back to the scalar sampler.
+        """
+        remaining = int(batch_size)
+        if remaining <= 0:
+            return
+        n = self.graph.n
+        rows = max(self.weights.shape[0], 1)
+        # Bound both the sampler's (B, n) state and the (B, n, w) subtree
+        # tensor of the batched fold.
+        chunk_cap = max(1, min(LOCKSTEP_STATE_LIMIT // max(n, 1),
+                               (1 << 24) // max(n * rows, 1)))
+        while remaining > 0:
+            take = min(remaining, chunk_cap)
+            if take == 1:
+                forest = sample_rooted_forest(self.graph, self.roots, seed=self.rng)
+                self._process(forest)
+            else:
+                batch = sample_forest_batch_vectorized(self.graph, self.roots,
+                                                       take, seed=self.rng)
+                self.add_batch(batch)
+            remaining -= take
 
     def add_forest(self, forest) -> None:
         """Fold one externally sampled forest into the running sums.
@@ -227,9 +254,51 @@ class ForestAccumulator:
             )
         self._process(forest)
 
+    def add_batch(self, batch: ForestBatch) -> None:
+        """Fold a whole :class:`~repro.sampling.batch.ForestBatch` in at once.
+
+        The expensive per-forest derived quantities — forest-subtree sums of
+        the weight matrix and the rooted-at map — are computed with the
+        batched kernels (one ``np.add.at``/pointer-doubling pass for the
+        whole batch); only the residual per-forest folding loops over the
+        batch.  The running sums end up identical to folding each forest
+        through :meth:`add_forest`.
+        """
+        if batch.n != self.graph.n:
+            raise InvalidParameterError(
+                f"forest batch has {batch.n} nodes, graph has {self.graph.n}"
+            )
+        if [int(r) for r in batch.roots] != self.roots:
+            raise InvalidParameterError(
+                f"batch roots {batch.roots.tolist()} do not match the "
+                f"accumulator root set {self.roots}"
+            )
+        if batch.batch_size == 0:
+            return
+        subtree = batch.subtree_sums(self.weights) if self.weights.shape[0] else None
+        root_of = batch.root_of() if self.tracked_roots else None
+        for index in range(batch.batch_size):
+            self._fold(
+                batch.parent[index],
+                None if subtree is None else subtree[index],
+                None if root_of is None else root_of[index],
+            )
+
     def _process(self, forest) -> None:
+        subtree = forest.subtree_sums(self.weights) if self.weights.shape[0] else None
+        root_of = forest.root_of() if self.tracked_roots else None
+        self._fold(forest.parent, subtree, root_of)
+
+    def _fold(self, parent: np.ndarray, subtree: Optional[np.ndarray],
+              root_of: Optional[np.ndarray]) -> None:
+        """Fold one forest, given its precomputed derived arrays.
+
+        ``subtree`` is the ``(w, n)`` forest-subtree sum of
+        :attr:`weights` (``None`` when there are no weight rows) and
+        ``root_of`` the rooted-at map (``None`` when no roots are tracked);
+        both may be rows of the batched kernels' outputs.
+        """
         n = self.graph.n
-        parent = forest.parent
         bfs_parent = self._bfs_parent
         nonroot = self._nonroot
 
@@ -243,8 +312,7 @@ class ForestAccumulator:
 
         # Projected (weight-vector) estimators: forest-subtree sums of the
         # weights, folded along the BFS tree with per-level prefix sums.
-        if self.weights.shape[0]:
-            subtree = forest.subtree_sums(self.weights)
+        if subtree is not None:
             contribution = np.zeros_like(subtree)
             contribution[:, nonroot] = (
                 subtree[:, nonroot] * alpha[nonroot]
@@ -293,8 +361,7 @@ class ForestAccumulator:
         self.diag_sumsq += diag * diag
 
         # Rooted probabilities for the tracked (Schur) roots.
-        if self.tracked_roots:
-            root_of = forest.root_of()
+        if root_of is not None:
             for idx, target in enumerate(self.tracked_roots):
                 self.root_counts[:, idx] += root_of == target
 

@@ -48,6 +48,7 @@ from repro.dynamic.graph import ADD, ADD_NODE, REMOVE, REMOVE_NODE, DynamicGraph
 from repro.dynamic.resistance import IncrementalResistance
 from repro.graph.graph import Graph
 from repro.sampling.forest import Forest
+from repro.sampling.parallel import sample_forest_batch
 from repro.sampling.wilson import sample_rooted_forest
 from repro.utils.rng import RandomState, as_rng
 from repro.utils.validation import check_integer
@@ -319,8 +320,9 @@ class DynamicCFCM:
         optionally overrides how the missing forests are drawn: a callable
         ``sampler(snapshot, compact_roots, count, seed)`` returning that many
         :class:`repro.sampling.forest.Forest` objects — the asyncio service
-        passes :func:`repro.sampling.sample_forest_batch` here so Wilson
-        sampling runs on a process pool with reproducible child seeds.
+        passes its worker pool's sampler here, which defaults to the
+        lockstep vectorised kernel and falls back to a process pool only
+        for batches too large for it.
         """
         if not self.graph.is_unit_weighted:
             raise InvalidParameterError(
@@ -340,14 +342,24 @@ class DynamicCFCM:
     # ------------------------------------------------------------ maintenance
     def _refill(self, pool: _ForestPool, snapshot: Graph,
                 compact_roots: Sequence[int], sampler=None) -> int:
-        """Sample forests until ``pool`` holds ``pool_size`` of them."""
+        """Sample forests until ``pool`` holds ``pool_size`` of them.
+
+        Missing forests are drawn as one lockstep vectorised batch
+        (:func:`repro.sampling.sample_forest_batch`); a single missing
+        forest uses the scalar sampler directly.
+        """
         missing = self.pool_size - len(pool.forests)
         if missing <= 0:
             return 0
         if sampler is None:
-            for _ in range(missing):
+            if missing == 1:
                 pool.forests.append(
                     sample_rooted_forest(snapshot, compact_roots, seed=self.rng)
+                )
+            else:
+                pool.forests.extend(
+                    sample_forest_batch(snapshot, compact_roots, missing,
+                                        seed=self.rng)
                 )
         else:
             child_seed = int(self.rng.integers(0, 2**62))

@@ -2,6 +2,11 @@
 
 from repro.sampling.wilson import sample_rooted_forest, sample_many_forests
 from repro.sampling.forest import Forest
+from repro.sampling.batch import (
+    ForestBatch,
+    LOCKSTEP_STATE_LIMIT,
+    sample_forest_batch_vectorized,
+)
 from repro.sampling.bernstein import (
     empirical_bernstein_bound,
     hoeffding_bound,
@@ -14,6 +19,9 @@ __all__ = [
     "sample_rooted_forest",
     "sample_many_forests",
     "Forest",
+    "ForestBatch",
+    "LOCKSTEP_STATE_LIMIT",
+    "sample_forest_batch_vectorized",
     "empirical_bernstein_bound",
     "hoeffding_bound",
     "hoeffding_sample_size",

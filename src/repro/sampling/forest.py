@@ -107,11 +107,8 @@ class Forest:
 
     def tree_sizes(self) -> dict:
         """Mapping root -> number of nodes in its tree (roots included)."""
-        counts: dict = {int(r): 0 for r in self.roots}
-        root_of = self.root_of()
-        for root in root_of:
-            counts[int(root)] += 1
-        return counts
+        counts = np.bincount(self.root_of(), minlength=self.n)
+        return {int(r): int(counts[r]) for r in self.roots}
 
     # ------------------------------------------------------------- aggregation
     def subtree_sums(self, weights: np.ndarray) -> np.ndarray:
@@ -220,28 +217,31 @@ class Forest:
 
     def _compute_euler(self) -> None:
         n = self.n
-        children: List[List[int]] = [[] for _ in range(n)]
-        for u in range(n):
-            p = int(self.parent[u])
-            if p >= 0:
-                children[p].append(u)
+        # Children lists in CSR form from one stable argsort of the parent
+        # array: the children of ``p`` are ``by_parent[starts[p]:ends[p]]``
+        # (in ascending node order, matching the old list construction).
+        by_parent = np.argsort(self.parent, kind="stable").astype(np.int64)
+        sorted_parents = self.parent[by_parent]
+        nodes = np.arange(n, dtype=np.int64)
+        starts = np.searchsorted(sorted_parents, nodes, side="left")
+        ends = np.searchsorted(sorted_parents, nodes, side="right")
         tin = np.zeros(n, dtype=np.int64)
         tout = np.zeros(n, dtype=np.int64)
         clock = 0
         for root in self.roots:
-            stack: List[tuple] = [(int(root), iter(children[int(root)]))]
+            root = int(root)
             tin[root] = clock
             clock += 1
+            stack: List[List[int]] = [[root, int(starts[root])]]
             while stack:
-                node, child_iter = stack[-1]
-                advanced = False
-                for child in child_iter:
+                node, cursor = stack[-1]
+                if cursor < ends[node]:
+                    stack[-1][1] = cursor + 1
+                    child = int(by_parent[cursor])
                     tin[child] = clock
                     clock += 1
-                    stack.append((child, iter(children[child])))
-                    advanced = True
-                    break
-                if not advanced:
+                    stack.append([child, int(starts[child])])
+                else:
                     tout[node] = clock
                     clock += 1
                     stack.pop()

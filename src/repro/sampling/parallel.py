@@ -1,18 +1,23 @@
-"""Batch forest sampling with independent random streams.
+"""Batch forest sampling: lockstep vectorised kernel with scalar fallbacks.
 
-The paper stresses that both algorithms are "pleasingly parallelizable": every
-sampled forest is independent, so batches can be distributed across workers.
-This module provides that batching layer:
+The paper stresses that both algorithms are "pleasingly parallelizable":
+every sampled forest is independent, so batches can be drawn together.  This
+module provides the batching front end:
 
 * :func:`batched_seeds` — derive independent child seeds from one master seed
-  so results are reproducible regardless of how the batch is split;
-* :func:`sample_forest_batch` — draw a batch sequentially or with a process
-  pool (processes, not threads, because the sampler is pure Python and
-  GIL-bound).
+  so scalar-path results are reproducible regardless of how the batch is
+  split;
+* :func:`sample_forest_batch` — draw a batch, dispatching to the lockstep
+  vectorised kernel of :mod:`repro.sampling.batch` by default.  The scalar
+  per-forest path (optionally on a :class:`~concurrent.futures.\
+ProcessPoolExecutor` — processes, not threads, because the scalar sampler is
+  pure Python and GIL-bound) remains as the fallback for batches whose
+  lockstep state would not fit comfortably in memory.
 
-The estimator accumulators consume forests one at a time, so the batching
-layer is deliberately independent of them: callers draw a batch and fold it
-in, keeping the statistical code single-threaded and simple.
+The estimator accumulators consume forests one at a time (or a
+:class:`~repro.sampling.batch.ForestBatch` at once), so the batching layer is
+deliberately independent of them: callers draw a batch and fold it in,
+keeping the statistical code single-threaded and simple.
 """
 
 from __future__ import annotations
@@ -22,6 +27,10 @@ from typing import List, Optional, Sequence
 
 from repro.exceptions import InvalidParameterError
 from repro.graph.graph import Graph
+from repro.sampling.batch import (
+    LOCKSTEP_STATE_LIMIT,
+    sample_forest_batch_vectorized,
+)
 from repro.sampling.forest import Forest
 from repro.sampling.wilson import sample_rooted_forest
 from repro.utils.rng import RandomState, as_rng
@@ -42,8 +51,9 @@ def _sample_one(args) -> Forest:
 
 def sample_forest_batch(graph: Graph, roots: Sequence[int], count: int,
                         seed: RandomState = None,
-                        workers: Optional[int] = None) -> List[Forest]:
-    """Sample ``count`` independent rooted forests, optionally in parallel.
+                        workers: Optional[int] = None,
+                        method: str = "auto") -> List[Forest]:
+    """Sample ``count`` independent rooted forests as one batch.
 
     Parameters
     ----------
@@ -52,16 +62,36 @@ def sample_forest_batch(graph: Graph, roots: Sequence[int], count: int,
     count:
         Number of forests.
     seed:
-        Master seed; the per-forest seeds are derived with
-        :func:`batched_seeds`, so the returned batch is identical whether it
-        is drawn sequentially or by any number of workers.
+        Master seed.  The lockstep path consumes one stream for the whole
+        batch; the scalar path derives per-forest seeds with
+        :func:`batched_seeds`, so a scalar batch is identical whether it is
+        drawn sequentially or by any number of workers.  (The two paths
+        draw different — equally distributed — batches for the same seed.)
     workers:
-        ``None`` or ``1`` samples sequentially (the default — worthwhile
-        parallelism needs graphs large enough to amortise process start-up);
-        larger values use a :class:`concurrent.futures.ProcessPoolExecutor`.
+        Process count for the *scalar* path: ``None`` or ``1`` samples
+        sequentially, larger values use a
+        :class:`concurrent.futures.ProcessPoolExecutor`.  Ignored by the
+        lockstep path, which needs no processes.
+    method:
+        ``"lockstep"`` forces the vectorised kernel, ``"scalar"`` the
+        per-forest loop (and honours ``workers``); the default ``"auto"``
+        picks lockstep unless the batch state ``count * n`` exceeds
+        :data:`repro.sampling.batch.LOCKSTEP_STATE_LIMIT` entries, in which
+        case the scalar path (with its process pool, when ``workers`` is
+        set) takes over.
     """
     if count < 0:
-        raise InvalidParameterError("count must be non-negative")
+        raise InvalidParameterError(f"count must be non-negative, got {count}")
+    method = str(method).lower()
+    if method not in ("auto", "lockstep", "scalar"):
+        raise InvalidParameterError(
+            f"method must be 'auto', 'lockstep' or 'scalar', got {method!r}"
+        )
+    if method == "auto":
+        method = "lockstep" if count * graph.n <= LOCKSTEP_STATE_LIMIT else "scalar"
+    if method == "lockstep":
+        return sample_forest_batch_vectorized(graph, roots, count, seed=seed).forests()
+
     seeds = batched_seeds(seed, count)
     if not seeds:
         return []

@@ -141,21 +141,49 @@ def expected_sampling_cost(graph: Graph, roots: Sequence[int]) -> float:
 
 
 def empirical_root_distribution(graph: Graph, roots: Sequence[int],
-                                samples: int, seed: RandomState = None
-                                ) -> np.ndarray:
+                                samples: int, seed: RandomState = None,
+                                method: str = "lockstep") -> np.ndarray:
     """Fraction of samples in which each node is rooted at each root.
 
     Returns an ``(n, len(roots))`` matrix of empirical probabilities — the
     sampled counterpart of the absorption matrix ``F`` of Lemma 4.2, used by
     tests to check the sampler against the exact linear-algebra values.
+
+    ``method="lockstep"`` (the default) draws the samples with the
+    vectorised batch sampler in memory-bounded chunks and accumulates each
+    chunk with one ``bincount``; ``method="scalar"`` draws them one at a
+    time with this module's sampler (one vectorised ``np.add.at`` per
+    sample), which is what the lockstep kernel's distributional-equivalence
+    tests compare against.
     """
+    method = str(method).lower()
+    if method not in ("lockstep", "scalar"):
+        raise InvalidParameterError(
+            f"method must be 'lockstep' or 'scalar', got {method!r}"
+        )
     roots_sorted = sorted(int(r) for r in set(roots))
-    index = {root: i for i, root in enumerate(roots_sorted)}
-    counts = np.zeros((graph.n, len(roots_sorted)), dtype=np.float64)
+    n = graph.n
+    width = len(roots_sorted)
+    column = np.full(n, -1, dtype=np.int64)
+    column[roots_sorted] = np.arange(width, dtype=np.int64)
+    counts = np.zeros((n, width), dtype=np.float64)
     rng = as_rng(seed)
-    for _ in range(samples):
-        forest = sample_rooted_forest(graph, roots_sorted, seed=rng)
-        root_of = forest.root_of()
-        for node in range(graph.n):
-            counts[node, index[int(root_of[node])]] += 1.0
+    nodes = np.arange(n)
+    if method == "scalar":
+        for _ in range(samples):
+            forest = sample_rooted_forest(graph, roots_sorted, seed=rng)
+            np.add.at(counts, (nodes, column[forest.root_of()]), 1.0)
+        return counts / max(samples, 1)
+
+    from repro.sampling.batch import LOCKSTEP_STATE_LIMIT, sample_forest_batch_vectorized
+
+    chunk_size = max(1, LOCKSTEP_STATE_LIMIT // max(n, 1))
+    remaining = int(samples)
+    cell = nodes * width  # flat (node, column) cell index base
+    while remaining > 0:
+        take = min(remaining, chunk_size)
+        batch = sample_forest_batch_vectorized(graph, roots_sorted, take, seed=rng)
+        flat = (cell[None, :] + column[batch.root_of()]).reshape(-1)
+        counts += np.bincount(flat, minlength=n * width).reshape(n, width)
+        remaining -= take
     return counts / max(samples, 1)

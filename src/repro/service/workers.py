@@ -1,12 +1,15 @@
 """Bounded worker layer running blocking engine work off the event loop.
 
 The engine's heavy kernels are dense linear algebra (NumPy releases the GIL
-inside BLAS) plus pure-Python Wilson sampling (GIL-bound).  The pool
-therefore runs engine calls on a bounded :class:`ThreadPoolExecutor` —
-threads share the engine state that the service guards with its own lock —
-and offers :meth:`sample_forests`, which fans the GIL-bound forest sampling
-out to a :class:`ProcessPoolExecutor` (via
-:func:`repro.sampling.sample_forest_batch`) when ``process_workers`` is set.
+inside BLAS) plus batch forest sampling, now NumPy-vectorised as well by
+the lockstep kernel of :mod:`repro.sampling.batch`.  The pool runs engine
+calls on a bounded :class:`ThreadPoolExecutor` — threads share the engine
+state that the service guards with its own lock — and offers
+:meth:`sample_forests`, which draws forest batches through the vectorised
+path by default and only fans out to a :class:`ProcessPoolExecutor` (the
+GIL-bound scalar sampler, via :func:`repro.sampling.sample_forest_batch`)
+when ``process_workers`` is set *and* the batch is too large for the
+lockstep state.
 
 Cancellation semantics: a thread cannot be interrupted, so cancelling a task
 that awaits :meth:`run` abandons the future — the work finishes (or is
@@ -26,6 +29,7 @@ from typing import Any, Callable, List, Sequence
 
 from repro.exceptions import ServiceClosedError
 from repro.graph.graph import Graph
+from repro.sampling.batch import LOCKSTEP_STATE_LIMIT
 from repro.sampling.forest import Forest
 from repro.sampling.parallel import sample_forest_batch
 
@@ -45,8 +49,10 @@ class WorkerPool:
     workers:
         Thread count for engine work (evaluation, selection, maintenance).
     process_workers:
-        When positive, :meth:`sample_forests` distributes Wilson sampling
-        over that many processes; ``0`` samples in the calling thread.
+        When positive, :meth:`sample_forests` distributes *oversized*
+        batches (too big for the lockstep sampler's state) over that many
+        processes; every other batch is drawn with the vectorised kernel in
+        the calling thread, where it needs no processes to be fast.
     """
 
     def __init__(self, workers: int = 2, process_workers: int = 0):
@@ -87,15 +93,21 @@ class WorkerPool:
     def sample_forests(
         self, graph: Graph, roots: Sequence[int], count: int, seed: int
     ) -> List[Forest]:
-        """Draw ``count`` rooted forests, on processes when configured.
+        """Draw ``count`` rooted forests, vectorised by default.
 
         Matches the ``sampler(snapshot, compact_roots, count, seed)``
-        signature of :meth:`repro.dynamic.DynamicCFCM.refill_pool`; the
-        per-forest child seeds are derived reproducibly, so the batch is
-        identical however many processes draw it.
+        signature of :meth:`repro.dynamic.DynamicCFCM.refill_pool`.  The
+        batch is drawn with the lockstep vectorised kernel; only when
+        ``process_workers`` is configured *and* the batch state would
+        exceed the lockstep limit does the scalar sampler fan out over a
+        process pool (with reproducibly derived child seeds, so that batch
+        is identical however many processes draw it).
         """
-        workers = self.process_workers if self.process_workers > 0 else None
-        return sample_forest_batch(graph, roots, count, seed=seed, workers=workers)
+        if self.process_workers > 0 and count * graph.n > LOCKSTEP_STATE_LIMIT:
+            return sample_forest_batch(graph, roots, count, seed=seed,
+                                       workers=self.process_workers,
+                                       method="scalar")
+        return sample_forest_batch(graph, roots, count, seed=seed)
 
     async def close(self) -> None:
         """Reject new work and wait for in-flight work to finish."""

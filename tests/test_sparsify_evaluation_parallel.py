@@ -164,15 +164,29 @@ class TestParallelSampling:
         for a, b in zip(first, second):
             assert np.array_equal(a.parent, b.parent)
 
-    def test_process_pool_bit_identical_to_sequential(self, karate):
-        """The batched_seeds contract: the batch is the same however it is split.
+    def test_auto_dispatch_matches_lockstep(self, karate):
+        """The default path is the vectorised lockstep kernel."""
+        auto = sample_forest_batch(karate, [0, 33], 4, seed=9)
+        lockstep = sample_forest_batch(karate, [0, 33], 4, seed=9,
+                                       method="lockstep")
+        for a, b in zip(auto, lockstep):
+            assert np.array_equal(a.parent, b.parent)
 
-        Exercises the ProcessPoolExecutor path (workers=2), which the other
-        tests never reach, and checks bit-identical forests against the
-        sequential path.
+    def test_unknown_method_rejected(self, karate):
+        with pytest.raises(InvalidParameterError):
+            sample_forest_batch(karate, [0], 2, seed=0, method="quantum")
+
+    def test_process_pool_bit_identical_to_sequential(self, karate):
+        """The batched_seeds contract: a scalar batch is the same however split.
+
+        Exercises the ProcessPoolExecutor path (method="scalar", workers=2),
+        which the other tests never reach, and checks bit-identical forests
+        against the sequential scalar path.
         """
-        sequential = sample_forest_batch(karate, [0, 33], 5, seed=11, workers=1)
-        pooled = sample_forest_batch(karate, [0, 33], 5, seed=11, workers=2)
+        sequential = sample_forest_batch(karate, [0, 33], 5, seed=11, workers=1,
+                                         method="scalar")
+        pooled = sample_forest_batch(karate, [0, 33], 5, seed=11, workers=2,
+                                     method="scalar")
         assert len(pooled) == len(sequential)
         for a, b in zip(sequential, pooled):
             assert np.array_equal(a.parent, b.parent)
@@ -181,8 +195,10 @@ class TestParallelSampling:
 
     def test_process_pool_single_forest_falls_back_sequential(self, karate):
         # count == 1 short-circuits the pool even when workers > 1.
-        pooled = sample_forest_batch(karate, [0], 1, seed=5, workers=4)
-        sequential = sample_forest_batch(karate, [0], 1, seed=5, workers=1)
+        pooled = sample_forest_batch(karate, [0], 1, seed=5, workers=4,
+                                     method="scalar")
+        sequential = sample_forest_batch(karate, [0], 1, seed=5, workers=1,
+                                         method="scalar")
         assert np.array_equal(pooled[0].parent, sequential[0].parent)
 
     def test_empty_batch(self, karate):
