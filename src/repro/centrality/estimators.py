@@ -124,6 +124,152 @@ class SamplingConfig:
         return int(min(self.max_samples, max(self.min_samples, scaled) * 4))
 
 
+class PathSystem:
+    """A fixed path system ``P_{u,S}`` from every node to the root set.
+
+    Lemma 3.3's diagonal estimator is unbiased for *any* fixed choice of
+    graph paths from each node to ``S``; this library uses the BFS-tree
+    paths (so per-sample values are bounded by the diameter τ).  The path
+    system is deliberately decoupled from the sampled forests: the engine's
+    importance-weighted pools keep one path system alive across graph
+    mutations and cache each stored forest's estimator value against it —
+    cached values stay exact as long as every path edge still exists, which
+    edge insertions, reweights and (leaf-extended) node insertions all
+    preserve.
+
+    Parameters
+    ----------
+    parent:
+        ``(n,)`` path-tree parents (``-1`` on roots): ``parent[u]`` is the
+        next hop of ``u``'s fixed path towards the root set.
+    roots:
+        The root set ``S``.
+    """
+
+    def __init__(self, parent: np.ndarray, roots: Sequence[int]):
+        from repro.sampling.forest import Forest as _Forest
+
+        self.parent = np.asarray(parent, dtype=np.int64)
+        self.roots = sorted(set(int(r) for r in roots))
+        n = self.parent.size
+        self.root_mask = np.zeros(n, dtype=bool)
+        self.root_mask[self.roots] = True
+        self.nonroot = np.flatnonzero(~self.root_mask)
+        tree = _Forest(parent=self.parent.copy(),
+                       roots=np.asarray(self.roots, dtype=np.int64))
+        # Euler-tour intervals give the O(1) "x on BFS path of u" test the
+        # diagonal walk needs.
+        self.tin, self.tout = tree.euler_intervals()
+
+    @classmethod
+    def from_graph(cls, graph: Graph, roots: Sequence[int]) -> "PathSystem":
+        """The BFS-tree path system of ``graph`` (paths bounded by τ)."""
+        tree = bfs_tree(graph, sorted(set(int(r) for r in roots)))
+        if np.any(tree.depth < 0):
+            raise InvalidParameterError(
+                "graph must be connected for forest sampling"
+            )
+        return cls(tree.parent, roots)
+
+    @property
+    def n(self) -> int:
+        return int(self.parent.size)
+
+    def uses_edge(self, u: int, v: int) -> bool:
+        """Whether the path tree traverses the undirected edge ``(u, v)``."""
+        u, v = int(u), int(v)
+        return bool(self.parent[u] == v or self.parent[v] == u)
+
+    def extended(self, attachment: int) -> "PathSystem":
+        """A path system for the graph grown by one node (id ``n``).
+
+        The new node's fixed path is the edge to ``attachment`` followed by
+        the attachment's path — i.e. the path tree gains one leaf, leaving
+        every existing path unchanged.
+        """
+        attachment = int(attachment)
+        if not 0 <= attachment < self.n:
+            raise InvalidParameterError(
+                f"attachment {attachment} outside node range [0, {self.n})"
+            )
+        parent = np.concatenate([self.parent, [attachment]])
+        return PathSystem(parent, self.roots)
+
+
+def batched_diag_estimates(forest_parent: np.ndarray, path: PathSystem,
+                           columns: Optional[Sequence[int]] = None,
+                           ) -> np.ndarray:
+    """Per-forest Lemma 3.3 diagonal estimates over a ``(B, n)`` batch.
+
+    Returns the ``(B, n)`` matrix whose row ``i`` is the per-node diagonal
+    estimator of forest ``i`` under the fixed ``path`` system (columns on
+    roots are zero) — the quantity :class:`ForestAccumulator` accumulates,
+    exposed per forest so pooled consumers can cache it.  ``columns``
+    restricts the walk to the given start nodes and returns ``(B, k)``
+    (used to price a newly inserted node without refolding the batch).
+
+    The kernel is a lane-compressed ancestor walk: one lane per (sample,
+    start-node) pair climbs its forest path with batch-wide fancy gathers,
+    so the Python loop runs over the batch-wide maximum forest depth.
+    """
+    forest_parent = np.asarray(forest_parent, dtype=np.int64)
+    if forest_parent.ndim != 2 or forest_parent.shape[1] != path.n:
+        raise InvalidParameterError(
+            f"forest parents must have shape (B, {path.n}), "
+            f"got {forest_parent.shape}"
+        )
+    size = forest_parent.shape[0]
+    n = path.n
+    if columns is None:
+        starts = path.nonroot
+    else:
+        starts = np.asarray([int(c) for c in columns], dtype=np.int64)
+        if starts.size and (starts.min() < 0 or starts.max() >= n):
+            raise InvalidParameterError("columns outside node range")
+    bfs_parent = path.parent
+    nonroot = path.nonroot
+    tin, tout = path.tin, path.tout
+
+    alpha = np.zeros((size, n), dtype=bool)
+    alpha[:, nonroot] = forest_parent[:, nonroot] == bfs_parent[nonroot]
+    has_parent = forest_parent >= 0
+    safe_parent = np.where(has_parent, forest_parent, 0)
+    delta = has_parent & (bfs_parent[safe_parent] == np.arange(n))
+
+    diag = np.zeros((size, starts.size))
+    lane_sample = np.repeat(np.arange(size, dtype=np.int64), starts.size)
+    lane_start = np.tile(np.arange(starts.size, dtype=np.int64), size)
+    cursor = np.tile(starts, size)
+    tin_lane = tin[cursor]
+    # Lanes rooted at a root node are done before they start.
+    live = ~path.root_mask[cursor]
+    lane_sample, lane_start = lane_sample[live], lane_start[live]
+    cursor, tin_lane = cursor[live], tin_lane[live]
+    while lane_sample.size:
+        x = cursor
+        on_path_x = (tin[x] <= tin_lane) & (tin_lane <= tout[x])
+        pi_x = forest_parent[lane_sample, x]
+        safe_pi = np.where(pi_x >= 0, pi_x, x)
+        on_path_pi = (tin[safe_pi] <= tin_lane) & (tin_lane <= tout[safe_pi])
+        step = (
+            (alpha[lane_sample, x] & on_path_x).astype(np.float64)
+            - (delta[lane_sample, x] & on_path_pi & (pi_x >= 0)).astype(np.float64)
+        )
+        # (sample, start) pairs are unique within the lane set, so the
+        # fancy-indexed accumulate cannot collide.
+        diag[lane_sample, lane_start] += step
+        keep = (pi_x >= 0) & ~path.root_mask[safe_pi]
+        lane_sample = lane_sample[keep]
+        lane_start = lane_start[keep]
+        cursor = pi_x[keep]
+        tin_lane = tin_lane[keep]
+    if columns is None:
+        full = np.zeros((size, n))
+        full[:, starts] = diag
+        return full
+    return diag
+
+
 def rademacher_weights(rows: int, n: int, excluded: Sequence[int],
                        rng: np.random.Generator) -> np.ndarray:
     """JL weight matrix of shape ``(rows, n)``, zeroed on ``excluded`` columns."""
@@ -170,19 +316,16 @@ class ForestAccumulator:
         self.tau = int(self.tree.max_depth)
 
         n = graph.n
-        self._root_mask = np.zeros(n, dtype=bool)
-        self._root_mask[self.roots] = True
-        self._bfs_parent = self.tree.parent
+        # The fixed path system (BFS-tree paths with Euler-tour intervals):
+        # the diagonal estimator walks each node's forest path and tests
+        # membership of the BFS path with the intervals, so no per-sample
+        # tour is ever needed.
+        self._path = PathSystem(self.tree.parent, self.roots)
+        self._root_mask = self._path.root_mask
+        self._bfs_parent = self._path.parent
         self._levels = self.tree.levels()
-        self._nonroot = np.flatnonzero(~self._root_mask)
-        # Euler-tour intervals of the *fixed* BFS tree: the diagonal estimator
-        # walks each node's forest path and tests membership of the BFS path
-        # with these intervals, so no per-sample tour is ever needed.
-        from repro.sampling.forest import Forest as _Forest
-
-        bfs_forest = _Forest(parent=self._bfs_parent.copy(),
-                             roots=np.asarray(self.roots, dtype=np.int64))
-        self._bfs_tin, self._bfs_tout = bfs_forest.euler_intervals()
+        self._nonroot = self._path.nonroot
+        self._bfs_tin, self._bfs_tout = self._path.tin, self._path.tout
 
         if weights is None:
             weights = np.zeros((0, n))
@@ -201,7 +344,10 @@ class ForestAccumulator:
             )
 
         rows = weights.shape[0]
-        self.count = 0
+        # `count` is the total *importance weight* folded in (a float): plain
+        # samples contribute 1 each, pooled forests their self-normalising
+        # importance weight, so every estimate below is a weighted mean.
+        self.count = 0.0
         self.projected_sum = np.zeros((rows, n))
         self.diag_sum = np.zeros(n)
         self.diag_sumsq = np.zeros(n)
@@ -236,12 +382,13 @@ class ForestAccumulator:
                 self.add_batch(batch)
             remaining -= take
 
-    def add_forest(self, forest) -> None:
+    def add_forest(self, forest, weight: float = 1.0) -> None:
         """Fold one externally sampled forest into the running sums.
 
         The forest must be rooted at this accumulator's root set; this is the
         entry point for callers that manage their own forest pool (batch
-        sampling workers, the dynamic engine's selectively invalidated cache).
+        sampling workers, the dynamic engine's importance-weighted cache).
+        ``weight`` is the forest's importance weight (1 for a fresh sample).
         """
         if forest.n != self.graph.n:
             raise InvalidParameterError(
@@ -252,17 +399,24 @@ class ForestAccumulator:
                 f"forest roots {forest.roots.tolist()} do not match the "
                 f"accumulator root set {self.roots}"
             )
-        self._process(forest)
+        self._process(forest, weight=float(weight))
 
-    def add_batch(self, batch: ForestBatch) -> None:
+    def add_batch(self, batch: ForestBatch,
+                  weights: Optional[np.ndarray] = None,
+                  method: str = "batched") -> None:
         """Fold a whole :class:`~repro.sampling.batch.ForestBatch` in at once.
 
-        The expensive per-forest derived quantities — forest-subtree sums of
-        the weight matrix and the rooted-at map — are computed with the
-        batched kernels (one ``np.add.at``/pointer-doubling pass for the
-        whole batch); only the residual per-forest folding loops over the
-        batch.  The running sums end up identical to folding each forest
-        through :meth:`add_forest`.
+        ``method="batched"`` (the default) runs the fully vectorised
+        ``(B, n)`` fold of :meth:`_fold_batched`: one batched subtree-sum /
+        root-map kernel plus a lane-compressed ancestor walk whose Python
+        loop runs over the *batch-wide* maximum forest depth instead of once
+        per forest.  ``method="scalar"`` folds each forest through the
+        per-forest reference :meth:`_fold` (the chi-square baseline); both
+        paths produce the same running sums up to float summation order.
+
+        ``weights`` optionally assigns each forest an importance weight
+        (default 1), making every estimate a self-normalised weighted mean —
+        this is how the dynamic engine's reweighted pools are evaluated.
         """
         if batch.n != self.graph.n:
             raise InvalidParameterError(
@@ -275,6 +429,27 @@ class ForestAccumulator:
             )
         if batch.batch_size == 0:
             return
+        if weights is None:
+            weights = np.ones(batch.batch_size, dtype=np.float64)
+        else:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape != (batch.batch_size,):
+                raise InvalidParameterError(
+                    f"per-forest weights must have shape "
+                    f"({batch.batch_size},), got {weights.shape}"
+                )
+            if np.any(weights < 0.0) or not np.all(np.isfinite(weights)):
+                raise InvalidParameterError(
+                    "per-forest weights must be finite and non-negative"
+                )
+        method = str(method).lower()
+        if method == "batched":
+            self._fold_batched(batch, weights)
+            return
+        if method != "scalar":
+            raise InvalidParameterError(
+                f"method must be 'batched' or 'scalar', got {method!r}"
+            )
         subtree = batch.subtree_sums(self.weights) if self.weights.shape[0] else None
         root_of = batch.root_of() if self.tracked_roots else None
         for index in range(batch.batch_size):
@@ -282,21 +457,25 @@ class ForestAccumulator:
                 batch.parent[index],
                 None if subtree is None else subtree[index],
                 None if root_of is None else root_of[index],
+                weight=float(weights[index]),
             )
 
-    def _process(self, forest) -> None:
+    def _process(self, forest, weight: float = 1.0) -> None:
         subtree = forest.subtree_sums(self.weights) if self.weights.shape[0] else None
         root_of = forest.root_of() if self.tracked_roots else None
-        self._fold(forest.parent, subtree, root_of)
+        self._fold(forest.parent, subtree, root_of, weight=weight)
 
     def _fold(self, parent: np.ndarray, subtree: Optional[np.ndarray],
-              root_of: Optional[np.ndarray]) -> None:
+              root_of: Optional[np.ndarray], weight: float = 1.0) -> None:
         """Fold one forest, given its precomputed derived arrays.
 
-        ``subtree`` is the ``(w, n)`` forest-subtree sum of
-        :attr:`weights` (``None`` when there are no weight rows) and
-        ``root_of`` the rooted-at map (``None`` when no roots are tracked);
-        both may be rows of the batched kernels' outputs.
+        The scalar reference path: :meth:`_fold_batched` computes the same
+        sums for a whole batch at once, and the distributional (chi-square)
+        suites pin this version as the baseline.  ``subtree`` is the
+        ``(w, n)`` forest-subtree sum of :attr:`weights` (``None`` when
+        there are no weight rows) and ``root_of`` the rooted-at map
+        (``None`` when no roots are tracked); both may be rows of the
+        batched kernels' outputs.
         """
         n = self.graph.n
         bfs_parent = self._bfs_parent
@@ -324,7 +503,7 @@ class ForestAccumulator:
                 if nodes.size == 0:
                     continue
                 projected[:, nodes] = projected[:, bfs_parent[nodes]] + contribution[:, nodes]
-            self.projected_sum += projected
+            self.projected_sum += weight * projected
 
         # Diagonal estimators.  Rewriting the Lemma 3.3 path sum so that the
         # outer iteration runs over each node's *forest* ancestors gives
@@ -357,15 +536,77 @@ class ForestAccumulator:
             active = active[keep]
             cursor = pi_x[keep]
             tin_active = tin_active[keep]
-        self.diag_sum += diag
-        self.diag_sumsq += diag * diag
+        self.diag_sum += weight * diag
+        self.diag_sumsq += weight * (diag * diag)
 
         # Rooted probabilities for the tracked (Schur) roots.
         if root_of is not None:
             for idx, target in enumerate(self.tracked_roots):
-                self.root_counts[:, idx] += root_of == target
+                self.root_counts[:, idx] += weight * (root_of == target)
 
-        self.count += 1
+        self.count += weight
+
+    def _fold_batched(self, batch: ForestBatch, weights: np.ndarray) -> None:
+        """Fold a whole batch with ``(B, n)`` kernels (no per-forest pass).
+
+        Computes exactly the sums of running :meth:`_fold` over every row of
+        the batch (up to float summation order):
+
+        * ``alpha``/``beta``/``delta`` indicators as ``(B, n)`` comparisons;
+        * the projected estimators via the batched subtree-sum kernel and a
+          BFS-level prefix fold vectorised over the batch axis;
+        * the diagonal estimators via a lane-compressed ancestor walk: one
+          lane per (sample, node) pair climbs its forest path, all lanes
+          advance together with fancy gathers, and finished lanes are
+          compressed away — so the Python loop runs ``max`` forest depth
+          times for the whole batch instead of once per forest;
+        * rooted-at counts from the batched pointer-doubling root map.
+
+        The per-forest ``weights`` multiply every contribution, which is
+        what lets one kernel serve both the fresh-sample estimators and the
+        importance-weighted pool evaluation.
+        """
+        n = self.graph.n
+        bfs_parent = self._bfs_parent
+        nonroot = self._nonroot
+        parent = batch.parent
+        size = batch.batch_size
+
+        if self.weights.shape[0]:
+            # The alpha/beta indicators are only needed by the projected
+            # estimators (the diagonal kernel builds its own).
+            alpha = np.zeros((size, n), dtype=bool)
+            beta = np.zeros((size, n), dtype=bool)
+            alpha[:, nonroot] = parent[:, nonroot] == bfs_parent[nonroot]
+            beta[:, nonroot] = parent[:, bfs_parent[nonroot]] == nonroot
+            subtree = batch.subtree_sums(self.weights)  # (B, w, n)
+            contribution = np.zeros_like(subtree)
+            contribution[:, :, nonroot] = (
+                subtree[:, :, nonroot] * alpha[:, None, nonroot]
+                - subtree[:, :, bfs_parent[nonroot]] * beta[:, None, nonroot]
+            )
+            projected = np.zeros_like(subtree)
+            for level in range(1, len(self._levels)):
+                nodes = self._levels[level]
+                if nodes.size == 0:
+                    continue
+                projected[:, :, nodes] = (
+                    projected[:, :, bfs_parent[nodes]] + contribution[:, :, nodes]
+                )
+            self.projected_sum += np.einsum("b,bwn->wn", weights, projected)
+
+        diag = batched_diag_estimates(parent, self._path)
+        self.diag_sum += weights @ diag
+        self.diag_sumsq += weights @ (diag * diag)
+
+        if self.tracked_roots:
+            root_of = batch.root_of()
+            for idx, target in enumerate(self.tracked_roots):
+                self.root_counts[:, idx] += (
+                    weights @ (root_of == target).astype(np.float64)
+                )
+
+        self.count += float(weights.sum())
 
     # ------------------------------------------------------------------ results
     def projected_estimates(self) -> np.ndarray:
@@ -405,7 +646,7 @@ class ForestAccumulator:
         return fractions
 
     def _require_samples(self) -> None:
-        if self.count == 0:
+        if self.count <= 0.0:
             raise InvalidParameterError("no forests sampled yet")
 
 

@@ -12,8 +12,8 @@ keeps their state alive while the graph mutates:
   block-inverse grow/downdate on node events and a configurable staleness
   policy;
 * :class:`DynamicCFCM` — cached ``query(k, method, eps)`` engine with
-  selectively invalidated forest pools, node-churn-aware eviction and
-  hit/miss/batching statistics;
+  importance-weighted forest pools (ESS-floor top-ups instead of flushes),
+  node-churn-aware eviction and hit/miss/batching statistics;
 * :mod:`repro.dynamic.workload` — reproducible random edge-update and
   node-churn streams for experiments, benchmarks and tests, plus the async
   Poisson traffic driver and journal replay used with

@@ -1,4 +1,4 @@
-"""Dynamic CFCM query engine: cached queries with selective invalidation.
+"""Dynamic CFCM query engine: cached queries with importance-weighted pools.
 
 :class:`DynamicCFCM` fronts the batch CFCM algorithms with three layers of
 state that survive across graph mutations:
@@ -8,16 +8,19 @@ state that survive across graph mutations:
    mutation invalidates them wholesale (the optimal group can move
    arbitrarily far under a single edge edit).
 2. **Forest pools** — :meth:`evaluate_forest` estimates the group CFCC of a
-   root set from a pool of sampled spanning forests.  On mutations the pool
-   is invalidated *selectively*: a deleted edge only invalidates the forests
-   whose parent pointers actually use it, an insertion leaves every stored
-   forest structurally valid and instead bumps a drift counter (the stored
-   forests remain spanning forests of the new graph but their distribution is
-   slightly stale); once drift exceeds ``max_drift`` the pool is flushed.
-   Reweighting flushes immediately — the samplers are unit-resistor.  Node
-   events are structural: an inserted node flushes every pool (stored forests
-   no longer span the graph) and a removed node evicts the pools and trackers
-   whose root set contained it.
+   root set from a pool of sampled spanning forests, held as one
+   :class:`repro.sampling.WeightedForestPool` per root set: a ``(B, n)``
+   parent matrix plus per-forest importance weights.  Mutations *reweight*
+   instead of flushing: a deleted edge drops exactly the forests whose
+   parent pointers use it (the survivors are exact samples of the shrunk
+   graph), a reweighted edge multiplies its users by the exact density
+   ratio ``w'/w``, an inserted edge down-weights every stored forest by a
+   cheap inclusion prior, and an inserted *node* extends every stored
+   forest with a leaf attachment — insertions never force a flush.  Once
+   the pool's effective sample size falls below ``ess_floor * pool_size``
+   the next evaluation tops it up with a vectorised lockstep draw, evicting
+   the lowest-weight forests.  Node removals remain structural (compact ids
+   shift), so they still evict/flush.
 3. **Incremental inverses** — :meth:`evaluate_exact` delegates to a cached
    :class:`repro.dynamic.IncrementalResistance` per group, which folds each
    pending journal suffix in as a single rank-``t`` Woodbury batch (O(n²t),
@@ -30,33 +33,48 @@ consumer has already seen, so a long-running service's journal stays flat.
 (External consumers of the same graph that fall behind a compaction rebuild
 from the snapshot — see :meth:`DynamicGraph.journal_since`.)
 
-Hit/miss, kept/resampled and batching counters are exposed via :attr:`stats`
-so operators can see whether the caches earn their memory.
+Hit/miss, reweighting/top-up counters and per-pool ESS are exposed via
+:attr:`stats` so operators can see whether the caches earn their memory.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.exceptions import GraphError, InvalidParameterError
-from repro.centrality.estimators import ForestAccumulator, SamplingConfig
+from repro.centrality.estimators import (
+    PathSystem,
+    SamplingConfig,
+    batched_diag_estimates,
+)
 from repro.centrality.result import CFCMResult
 from repro.dynamic.graph import ADD, ADD_NODE, REMOVE, REMOVE_NODE, DynamicGraph
 from repro.dynamic.resistance import IncrementalResistance
 from repro.graph.graph import Graph
-from repro.sampling.forest import Forest
-from repro.sampling.parallel import sample_forest_batch
-from repro.sampling.wilson import sample_rooted_forest
+from repro.sampling.batch import ForestBatch, sample_forest_batch_vectorized
+from repro.sampling.pool import (
+    WeightedForestPool,
+    edge_inclusion_prior,
+    node_internal_prior,
+)
 from repro.utils.rng import RandomState, as_rng
 from repro.utils.validation import check_integer
 
 
 @dataclass
 class EngineStats:
-    """Cache-effectiveness counters of one :class:`DynamicCFCM` instance."""
+    """Cache-effectiveness counters of one :class:`DynamicCFCM` instance.
+
+    ``pools_flushed`` is retained for compatibility: with importance
+    weighting it only counts the structural flushes that remain (node
+    removals, journal-loss recovery), never edge churn.  ``pool_ess`` maps
+    each live pool's root set (as a comma-joined key) to its current
+    effective sample size.
+    """
 
     query_hits: int = 0
     query_misses: int = 0
@@ -64,17 +82,23 @@ class EngineStats:
     eval_misses: int = 0
     forests_kept: int = 0
     forests_resampled: int = 0
+    forests_reweighted: int = 0
+    forests_dropped: int = 0
+    forests_folded: int = 0
     pools_flushed: int = 0
+    pools_evicted: int = 0
+    ess_topups: int = 0
     batch_updates: int = 0
     batched_events: int = 0
     node_evictions: int = 0
+    pool_ess: Dict[str, float] = field(default_factory=dict)
 
     def hit_rate(self) -> float:
         """Fraction of ``query`` calls answered from cache."""
         total = self.query_hits + self.query_misses
         return self.query_hits / total if total else 0.0
 
-    def as_dict(self) -> Dict[str, float]:
+    def as_dict(self) -> Dict[str, object]:
         return {
             "query_hits": self.query_hits,
             "query_misses": self.query_misses,
@@ -82,21 +106,22 @@ class EngineStats:
             "eval_misses": self.eval_misses,
             "forests_kept": self.forests_kept,
             "forests_resampled": self.forests_resampled,
+            "forests_reweighted": self.forests_reweighted,
+            "forests_dropped": self.forests_dropped,
+            "forests_folded": self.forests_folded,
             "pools_flushed": self.pools_flushed,
+            "pools_evicted": self.pools_evicted,
+            "ess_topups": self.ess_topups,
             "batch_updates": self.batch_updates,
             "batched_events": self.batched_events,
             "node_evictions": self.node_evictions,
             "hit_rate": self.hit_rate(),
+            "pool_ess": dict(self.pool_ess),
         }
 
 
-@dataclass
-class _ForestPool:
-    """Sampled forests for one root set, plus the drift bookkeeping."""
-
-    roots: Tuple[int, ...]
-    forests: List[Forest] = field(default_factory=list)
-    drift: int = 0
+def _pool_key(roots: Tuple[int, ...]) -> str:
+    return ",".join(str(r) for r in roots)
 
 
 class DynamicCFCM:
@@ -116,27 +141,45 @@ class DynamicCFCM:
     pool_size:
         Number of forests kept per evaluation root set.
     max_drift:
-        How many edge insertions a forest pool tolerates before it is
-        considered too stale and flushed.
+        Deprecated and ignored.  Forest pools no longer flush on drift:
+        they importance-weight stored forests and top up on the ESS floor
+        (``ess_floor``).  Passing a value emits a :class:`DeprecationWarning`.
     refresh_interval:
         Staleness budget of the per-group incremental inverses.
     cache_capacity:
         Maximum entries per cache (query results, forest pools, incremental
         inverses); least-recently-used entries are evicted beyond it so a
         long-running engine's memory stays bounded.
+    ess_floor:
+        Fraction of ``pool_size``: when a pool's effective sample size falls
+        below ``ess_floor * pool_size``, the next evaluation replaces its
+        stale mass with fresh lockstep draws.
     """
 
     def __init__(self, graph: DynamicGraph | Graph, seed: RandomState = None,
                  config: Optional[SamplingConfig] = None, pool_size: int = 24,
-                 max_drift: int = 8, refresh_interval: int = 64,
-                 cache_capacity: int = 64):
+                 max_drift: Optional[int] = None, refresh_interval: int = 64,
+                 cache_capacity: int = 64, ess_floor: float = 0.5):
         if isinstance(graph, Graph):
             graph = DynamicGraph(graph)
         self.graph = graph
         self.rng = as_rng(seed)
         self.config = config
         self.pool_size = check_integer("pool_size", pool_size, minimum=1)
-        self.max_drift = check_integer("max_drift", max_drift, minimum=0)
+        if max_drift is not None:
+            warnings.warn(
+                "max_drift is deprecated and ignored: forest pools now "
+                "importance-weight stored forests and top up on the ESS "
+                "floor (see the ess_floor parameter)",
+                DeprecationWarning, stacklevel=2,
+            )
+            check_integer("max_drift", max_drift, minimum=0)
+        self.max_drift = max_drift  # retained for introspection only
+        self.ess_floor = float(ess_floor)
+        if not 0.0 <= self.ess_floor <= 1.0:
+            raise InvalidParameterError(
+                f"ess_floor must lie in [0, 1], got {ess_floor}"
+            )
         self.refresh_interval = check_integer("refresh_interval", refresh_interval,
                                               minimum=1)
         self.cache_capacity = check_integer("cache_capacity", cache_capacity,
@@ -144,7 +187,11 @@ class DynamicCFCM:
         self.stats = EngineStats()
         self._query_cache: Dict[Tuple, Tuple[int, CFCMResult]] = {}
         self._eval_cache: Dict[Tuple, Tuple[int, float]] = {}
-        self._pools: Dict[Tuple[int, ...], _ForestPool] = {}
+        self._pools: Dict[Tuple[int, ...], WeightedForestPool] = {}
+        # Per-pool fixed path system (Lemma 3.3's P_{u,S}); each stored
+        # forest's trace contribution is cached against it, so evaluations
+        # only fold freshly drawn forests.
+        self._paths: Dict[Tuple[int, ...], PathSystem] = {}
         self._trackers: Dict[Tuple[int, ...], IncrementalResistance] = {}
         self._pool_version = graph.version
 
@@ -169,7 +216,7 @@ class DynamicCFCM:
 
         This is the maintenance half of every query, exposed as a
         non-blocking hook so a front end (e.g. the asyncio service in
-        :mod:`repro.service`) can pump pool invalidation and journal
+        :mod:`repro.service`) can pump pool reweighting and journal
         compaction off the query hot path — between traffic bursts, from a
         worker thread, without answering anything.  Returns the version the
         caches now reflect, which callers can use as a consistency token.
@@ -238,7 +285,7 @@ class DynamicCFCM:
 
         ``mode="exact"`` uses the incremental grounded inverse (one rank-``t``
         Woodbury batch per pending journal suffix); ``mode="forest"`` uses the
-        selectively invalidated forest pool (estimator accuracy grows with
+        importance-weighted forest pool (estimator accuracy grows with
         ``pool_size``).
         """
         mode = str(mode).lower()
@@ -268,10 +315,14 @@ class DynamicCFCM:
         return value
 
     def evaluate_forest(self, group: Sequence[int]) -> float:
-        """Estimated group CFCC from the (selectively invalidated) forest pool.
+        """Estimated group CFCC from the importance-weighted forest pool.
 
         ``Tr(inv(L_{-S}))`` is the sum of the per-node diagonal estimators of
-        Lemma 3.3, evaluated over the pooled forests rooted at ``S``.
+        Lemma 3.3, evaluated as a *weighted* mean over the pooled forests
+        rooted at ``S`` (one batched ``(B, n)`` fold, shared with the static
+        estimators).  Stale forests contribute with their importance weight;
+        the pool is topped up with fresh lockstep draws whenever its
+        effective sample size falls below the ESS floor.
         """
         if not self.graph.is_unit_weighted:
             raise InvalidParameterError(
@@ -287,42 +338,45 @@ class DynamicCFCM:
             return cached[1]
         self.stats.eval_misses += 1
 
-        pool = self._pools.get(roots)
-        if pool is None:
-            pool = _ForestPool(roots=roots)
-        _lru_store(self._pools, roots, pool, self.cache_capacity)
         snapshot = self.graph.snapshot()
-        # Forests are stored in the snapshot's compact id space; pools only
-        # survive edge events (node events flush them), so the mapping in
-        # force when a forest was sampled is the mapping in force now.
         compact_roots = self.graph.compact_nodes(roots)
-        if not pool.forests:
-            # An empty pool is refilled entirely from the current snapshot
-            # below, so whatever drift the old samples had accumulated is gone.
-            pool.drift = 0
-        self.stats.forests_kept += len(pool.forests)
-        self._refill(pool, snapshot, compact_roots)
+        pool = self._require_pool(roots, compact_roots)
+        self.stats.forests_kept += pool.size
+        self._top_up(pool, snapshot, compact_roots)
 
-        accumulator = ForestAccumulator(snapshot, compact_roots, seed=self.rng)
-        for forest in pool.forests:
-            accumulator.add_forest(forest)
-        trace = float(np.sum(accumulator.diag_estimates()))
+        # One weight-aware batched fold — and only over the forests whose
+        # trace contribution is not already cached against the pool's path
+        # system (fresh draws, or everything after a path invalidation).
+        path = self._paths.get(roots)
+        if path is None or path.n != snapshot.n:
+            path = PathSystem.from_graph(snapshot, compact_roots)
+            self._paths[roots] = path
+            pool.invalidate_traces()
+        stale = np.flatnonzero(~pool.trace_valid)
+        if stale.size:
+            diag = batched_diag_estimates(pool.batch().parent[stale], path)
+            pool.set_traces(stale, diag.sum(axis=1))
+            self.stats.forests_folded += int(stale.size)
+        weights = pool.weights()
+        trace = float(weights @ pool.traces) / float(weights.sum())
         value = self.graph.n / trace
         _lru_store(self._eval_cache, cache_key, (self.graph.version, value),
                    self.cache_capacity)
+        self._record_pool_health(roots, pool)
         return value
 
     def refill_pool(self, group: Sequence[int], sampler=None) -> int:
-        """Top the forest pool of ``group`` up to ``pool_size``; returns the count.
+        """Top the forest pool of ``group`` up; returns the number drawn.
 
         The sampling half of :meth:`evaluate_forest`, exposed so a front end
         can refresh pools ahead of query traffic (prefetching).  ``sampler``
         optionally overrides how the missing forests are drawn: a callable
         ``sampler(snapshot, compact_roots, count, seed)`` returning that many
-        :class:`repro.sampling.forest.Forest` objects — the asyncio service
-        passes its worker pool's sampler here, which defaults to the
-        lockstep vectorised kernel and falls back to a process pool only
-        for batches too large for it.
+        forests — either a :class:`~repro.sampling.batch.ForestBatch` or a
+        list of :class:`repro.sampling.forest.Forest` objects — the asyncio
+        service passes its worker pool's sampler here, which defaults to the
+        lockstep vectorised kernel and falls back to a process pool only for
+        batches too large for it.
         """
         if not self.graph.is_unit_weighted:
             raise InvalidParameterError(
@@ -330,110 +384,258 @@ class DynamicCFCM:
             )
         roots = self.graph.validate_group(group)
         self._sync_pools()
-        pool = self._pools.get(roots)
-        if pool is None:
-            pool = _ForestPool(roots=roots)
-        _lru_store(self._pools, roots, pool, self.cache_capacity)
-        if not pool.forests:
-            pool.drift = 0
-        return self._refill(pool, self.graph.snapshot(),
-                            self.graph.compact_nodes(roots), sampler=sampler)
+        compact_roots = self.graph.compact_nodes(roots)
+        pool = self._require_pool(roots, compact_roots)
+        drawn = self._top_up(pool, self.graph.snapshot(), compact_roots,
+                             sampler=sampler)
+        self._record_pool_health(roots, pool)
+        return drawn
+
+    def pool_health(self) -> Dict[str, Dict[str, float]]:
+        """Per-pool health snapshots (size, capacity, ESS, stale fraction)."""
+        return {
+            _pool_key(roots): pool.health()
+            for roots, pool in self._pools.items()
+        }
 
     # ------------------------------------------------------------ maintenance
-    def _refill(self, pool: _ForestPool, snapshot: Graph,
-                compact_roots: Sequence[int], sampler=None) -> int:
-        """Sample forests until ``pool`` holds ``pool_size`` of them.
+    def _require_pool(self, roots: Tuple[int, ...],
+                      compact_roots: Sequence[int]) -> WeightedForestPool:
+        """The pool for ``roots``, recreated when empty (fresh compact ids)."""
+        pool = self._pools.get(roots)
+        if pool is None or pool.size == 0:
+            # An empty pool is rebuilt entirely from the current snapshot, so
+            # it restarts with the mapping (and weights) in force right now;
+            # its old path system (if any) is for a dead id space.
+            pool = WeightedForestPool(compact_roots, capacity=self.pool_size,
+                                      ess_floor=self.ess_floor)
+            self._paths.pop(roots, None)
+        _lru_store(self._pools, roots, pool, self.cache_capacity,
+                   on_evict=self._on_pool_evicted)
+        return pool
 
-        Missing forests are drawn as one lockstep vectorised batch
-        (:func:`repro.sampling.sample_forest_batch`); a single missing
-        forest uses the scalar sampler directly.
+    def _top_up(self, pool: WeightedForestPool, snapshot: Graph,
+                compact_roots: Sequence[int], sampler=None) -> int:
+        """Draw the fresh forests the pool's refresh plan asks for.
+
+        Covers both the size deficit (forests killed by deletions) and the
+        ESS floor (stale mass from insertions/reweights); fresh forests are
+        drawn as one lockstep vectorised batch and admitted at weight 1,
+        evicting the lowest-weight forests beyond capacity.
         """
-        missing = self.pool_size - len(pool.forests)
+        missing = pool.plan_refresh()
         if missing <= 0:
             return 0
+        if missing > self.pool_size - pool.size:
+            self.stats.ess_topups += 1
         if sampler is None:
-            if missing == 1:
-                pool.forests.append(
-                    sample_rooted_forest(snapshot, compact_roots, seed=self.rng)
-                )
-            else:
-                pool.forests.extend(
-                    sample_forest_batch(snapshot, compact_roots, missing,
-                                        seed=self.rng)
-                )
+            fresh: ForestBatch | list = sample_forest_batch_vectorized(
+                snapshot, compact_roots, missing, seed=self.rng
+            )
+            drawn = fresh.batch_size
         else:
             child_seed = int(self.rng.integers(0, 2**62))
-            forests = list(sampler(snapshot, compact_roots, missing, child_seed))
-            if len(forests) != missing:
-                raise InvalidParameterError(
-                    f"sampler returned {len(forests)} forests, expected {missing}"
-                )
-            pool.forests.extend(forests)
+            fresh = sampler(snapshot, compact_roots, missing, child_seed)
+            if not isinstance(fresh, ForestBatch):
+                fresh = list(fresh)  # materialise once: counted, then admitted
+            drawn = (fresh.batch_size if isinstance(fresh, ForestBatch)
+                     else len(fresh))
+        if drawn != missing:
+            raise InvalidParameterError(
+                f"sampler returned {drawn} forests, expected {missing}"
+            )
+        pool.admit(fresh)
         self.stats.forests_resampled += missing
         return missing
 
     def _sync_pools(self) -> None:
         """Replay pending journal events onto every cached consumer.
 
-        Edge events invalidate forest pools selectively; node events are
-        structural (flush pools wholesale, evict pools/trackers whose root
-        set lost a node).  Afterwards the journal prefix every cached
+        Edge events reweight forest pools (removals kill exactly the using
+        forests, reweights apply exact density ratios, insertions decay by an
+        inclusion prior); node insertions extend every stored forest with a
+        leaf attachment.  Only node *removals* remain structural: compact
+        snapshot ids shift, so dependent pools/trackers are evicted and the
+        survivors flushed.  Afterwards the journal prefix every cached
         consumer has seen is compacted away.
         """
+        dirty = True
         try:
             events = self.graph.journal_since(self._pool_version)
+            dirty = bool(events)
         except GraphError:
             # Another consumer compacted the journal past our cursor; the
             # replay is lost, so conservatively flush every pool and resume
             # from the current version (trackers recover the same way).
-            for pool in self._pools.values():
-                self._flush_pool(pool)
+            for roots, pool in self._pools.items():
+                self._flush_pool(roots, pool)
             self._pool_version = self.graph.version
             events = []
-        for event in events:
-            if event.kind == ADD_NODE:
-                for pool in self._pools.values():
-                    self._flush_pool(pool)
-            elif event.kind == REMOVE_NODE:
+        removals = [event for event in events if event.kind == REMOVE_NODE]
+        if removals:
+            # Structural: process the node removals (evicting dependent
+            # state, flushing survivors).  Every pool ends up empty, so the
+            # edge/insertion events of the same suffix are no-ops for pools
+            # — which also means the per-event replay below may safely use
+            # the *current* id mapping.
+            for event in removals:
                 self._evict_node(int(event.node))
-            elif event.kind == ADD:
-                for pool in self._pools.values():
-                    if pool.forests or pool.drift:
-                        pool.drift += 1
-            elif event.kind == REMOVE:
-                cu, cv = self._compact_endpoints(event.u, event.v)
-                if cu is None:
-                    continue  # an endpoint is gone; a later node event flushes
-                for pool in self._pools.values():
-                    pool.forests = [f for f in pool.forests
-                                    if not _forest_uses_edge(f, cu, cv)]
-            else:  # reweight: unit-resistor samples are no longer valid
-                for pool in self._pools.values():
-                    self._flush_pool(pool)
-        for pool in self._pools.values():
-            if pool.drift > self.max_drift:
-                self._flush_pool(pool)
+        else:
+            for event in events:
+                if event.kind == ADD_NODE:
+                    self._extend_pools(event)
+                elif event.kind == ADD:
+                    self._decay_pools(event)
+                elif event.kind == REMOVE:
+                    self._invalidate_pools(event)
+                else:  # reweight: exact density-ratio importance update
+                    self._reweight_pools(event)
         if events:
             self._pool_version = self.graph.version
+        if dirty:
+            # Only re-snapshot pool health when something actually changed:
+            # ess() is O(B) per pool, and _sync_pools runs on every request.
+            for roots, pool in self._pools.items():
+                self._record_pool_health(roots, pool)
         self._compact_journal()
 
-    def _flush_pool(self, pool: _ForestPool) -> None:
-        if pool.forests or pool.drift:
-            pool.forests = []
-            pool.drift = 0
+    def _extend_pools(self, event) -> None:
+        """Attach an inserted node to every stored forest as a leaf.
+
+        With no node removal in the replayed suffix, the inserted node's
+        compact id is exactly the next column of every pool's parent matrix
+        (fresh stable ids sort last), and the attachment neighbours keep
+        their compact ids — so the extension is a pure column append.
+        """
+        neighbours = [int(nb) for nb, _ in event.edges]
+        attachment = [float(w) for _, w in event.edges]
+        if not all(self.graph.has_node(nb) for nb in neighbours):
+            for roots, pool in self._pools.items():
+                self._flush_pool(roots, pool)
+            return
+        compact = self.graph.compact_nodes(neighbours)
+        stale = node_internal_prior(
+            [self.graph.degree(nb) for nb in neighbours]
+        )
+        new_column = self.graph.compact_index(int(event.node))
+        for roots, pool in self._pools.items():
+            if pool.size == 0:
+                # Nothing to extend — and any cached path system is now one
+                # node behind the id space, so it must not survive either.
+                self._paths.pop(roots, None)
+                continue
+            if pool.n != new_column:
+                self._flush_pool(roots, pool)  # id-space mismatch: rebuild lazily
+                continue
+            extended = pool.extend_leaf(compact, attachment, stale, self.rng)
+            self.stats.forests_reweighted += extended
+            self.stats.forests_dropped += pool.take_dead_drops()
+            path = self._paths.get(roots)
+            if path is None:
+                continue
+            # The path system gains the same leaf (fixed first attachment),
+            # leaving every existing path — and every cached trace row —
+            # intact; cached rows only gain the new node's column, priced by
+            # a single-column walk instead of a full refold.
+            path = path.extended(compact[0])
+            self._paths[roots] = path
+            cached = np.flatnonzero(pool.trace_valid)
+            if cached.size:
+                column = batched_diag_estimates(
+                    pool.batch().parent[cached], path, columns=[new_column]
+                )
+                pool.add_to_traces(cached, column[:, 0])
+
+    def _decay_pools(self, event) -> None:
+        """Down-weight every pool after an edge insertion (stale stratum)."""
+        if not (self.graph.has_node(event.u) and self.graph.has_node(event.v)):
+            return
+        stale = edge_inclusion_prior(self.graph.degree(event.u),
+                                     self.graph.degree(event.v))
+        for roots, pool in self._pools.items():
+            self.stats.forests_reweighted += pool.apply_addition(stale)
+            self.stats.forests_dropped += pool.take_dead_drops()
+            if pool.size == 0:
+                self._paths.pop(roots, None)
+
+    def _invalidate_pools(self, event) -> None:
+        """Drop exactly the forests whose parent pointers use a deleted edge."""
+        cu, cv = self._compact_endpoints(event.u, event.v)
+        if cu is None:
+            return
+        for roots, pool in self._pools.items():
+            self.stats.forests_dropped += pool.apply_removal(cu, cv)
+            path = self._paths.get(roots)
+            if path is None:
+                continue
+            if pool.size == 0:
+                self._paths.pop(roots, None)
+            elif path.uses_edge(cu, cv):
+                # The deleted edge was on the fixed path system: cached
+                # trace contributions are for paths that no longer exist.
+                del self._paths[roots]
+                pool.invalidate_traces()
+
+    def _reweight_pools(self, event) -> None:
+        """Apply the exact density ratio ``w'/w`` to an edge's using forests."""
+        cu, cv = self._compact_endpoints(event.u, event.v)
+        if cu is None:
+            return
+        old_weight = event.weight - event.delta
+        if old_weight <= 0.0:
+            # The journal stores (new weight, delta); reconstructing the old
+            # weight cancels catastrophically for extreme ratios (e.g.
+            # 1e-25 -> 1).  An unrecoverable ratio means unknowable
+            # importance weights, so fall back to the conservative flush.
+            for roots, pool in self._pools.items():
+                self._flush_pool(roots, pool)
+            return
+        ratio = event.weight / old_weight
+        for roots, pool in self._pools.items():
+            self.stats.forests_reweighted += pool.apply_reweight(cu, cv, ratio)
+            self.stats.forests_dropped += pool.take_dead_drops()
+            if pool.size == 0:
+                self._paths.pop(roots, None)
+
+    def _flush_pool(self, roots: Tuple[int, ...],
+                    pool: WeightedForestPool) -> None:
+        """Flush a pool and retire its path system (kept in lockstep:
+        a path entry must never outlive the forests it was built for)."""
+        self._paths.pop(roots, None)
+        if pool.size:
+            pool.flush()
             self.stats.pools_flushed += 1
 
     def _evict_node(self, node: int) -> None:
         """Drop cached state referencing a removed node."""
         for roots in [r for r in self._pools if node in r]:
             del self._pools[roots]
+            self.stats.pool_ess.pop(_pool_key(roots), None)
             self.stats.node_evictions += 1
         for group in [g for g in self._trackers if node in g]:
             del self._trackers[group]
             self.stats.node_evictions += 1
-        # Surviving pools' forests no longer span a valid snapshot id space.
-        for pool in self._pools.values():
-            self._flush_pool(pool)
+        # Surviving pools' forests no longer span a valid snapshot id space,
+        # and neither does any path system.
+        self._paths.clear()
+        for roots, pool in self._pools.items():
+            self._flush_pool(roots, pool)
+
+    def _on_pool_evicted(self, roots: Tuple[int, ...],
+                         pool: WeightedForestPool) -> None:
+        """LRU-eviction hook: record the event and drop the pool's state.
+
+        The pool's health entry and path system go with it, so
+        :attr:`EngineStats.pool_ess` only ever lists live pools and nothing
+        is left behind for a silently vanished pool.
+        """
+        self.stats.pools_evicted += 1
+        self.stats.pool_ess.pop(_pool_key(roots), None)
+        self._paths.pop(roots, None)
+
+    def _record_pool_health(self, roots: Tuple[int, ...],
+                            pool: WeightedForestPool) -> None:
+        self.stats.pool_ess[_pool_key(roots)] = pool.ess()
 
     def _compact_endpoints(self, u: int, v: int) -> Tuple[Optional[int], Optional[int]]:
         if not (self.graph.has_node(u) and self.graph.has_node(v)):
@@ -455,19 +657,21 @@ class DynamicCFCM:
         self.graph.compact(floor)
 
 
-def _forest_uses_edge(forest: Forest, u: int, v: int) -> bool:
-    """Whether a forest's parent pointers traverse the undirected edge (u, v)."""
-    return bool(forest.parent[u] == v or forest.parent[v] == u)
-
-
-def _lru_store(cache: Dict, key, value, capacity: int) -> None:
+def _lru_store(cache: Dict, key, value, capacity: int,
+               on_evict: Optional[Callable] = None) -> None:
     """Insert ``key`` as the most-recent entry, evicting down to ``capacity``.
 
     Called on every hit and miss alike, so dict insertion order doubles as
     LRU order; the caches hold dense inverses / forest pools, so bounding
-    them is what keeps a long-running engine's memory flat.
+    them is what keeps a long-running engine's memory flat.  ``on_evict``
+    receives ``(key, value)`` for every entry dropped, so owners can record
+    the eviction and release any per-entry bookkeeping (a silently vanishing
+    pool used to leave its health/cursor state behind).
     """
     cache.pop(key, None)
     cache[key] = value
     while len(cache) > capacity:
-        cache.pop(next(iter(cache)))
+        old_key = next(iter(cache))
+        old_value = cache.pop(old_key)
+        if on_evict is not None:
+            on_evict(old_key, old_value)

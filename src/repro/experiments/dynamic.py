@@ -132,6 +132,10 @@ def run_dynamic(k: int = 5, eps: float = 0.3, max_samples: int = 48,
             "hit_rate": stats.hit_rate(),
             "batch_updates": stats.batch_updates,
             "batched_events": stats.batched_events,
+            "forests_reweighted": stats.forests_reweighted,
+            "forests_dropped": stats.forests_dropped,
+            "ess_topups": stats.ess_topups,
+            "pools_flushed": stats.pools_flushed,
         })
         if verbose:
             print(f"[dynamic] ratio {updates}:{queries} finished "

@@ -14,8 +14,16 @@ from repro.sampling.bernstein import (
     AdaptiveSampler,
 )
 from repro.sampling.parallel import batched_seeds, sample_forest_batch
+from repro.sampling.pool import (
+    WeightedForestPool,
+    edge_inclusion_prior,
+    node_internal_prior,
+)
 
 __all__ = [
+    "WeightedForestPool",
+    "edge_inclusion_prior",
+    "node_internal_prior",
     "sample_rooted_forest",
     "sample_many_forests",
     "Forest",

@@ -206,6 +206,92 @@ class ForestBatch:
         """``(B, n)`` number of nodes in each node's subtree (itself included)."""
         return self.subtree_sums(np.ones(self.n)).astype(np.int64)
 
+    # ----------------------------------------------------------- set algebra
+    def uses_edge(self, u: int, v: int) -> np.ndarray:
+        """``(B,)`` mask: whether each sample's parent pointers traverse (u, v)."""
+        u, v = int(u), int(v)
+        if not (0 <= u < self.n and 0 <= v < self.n):
+            raise InvalidParameterError(
+                f"edge ({u}, {v}) outside node range [0, {self.n})"
+            )
+        return (self.parent[:, u] == v) | (self.parent[:, v] == u)
+
+    def select(self, keep) -> "ForestBatch":
+        """A new batch holding only the selected rows (mask or index array).
+
+        Cached derived matrices (root maps, depths) are sliced along, so
+        selection never forces a recompute.
+        """
+        keep = np.asarray(keep)
+        # Fancy indexing already yields fresh arrays — no defensive copies.
+        selected = ForestBatch(parent=self.parent[keep], roots=self.roots.copy())
+        if self._root_of is not None:
+            selected._root_of = self._root_of[keep]
+            selected._depth = self._depth[keep]
+        return selected
+
+    def with_leaf(self, leaf_parents: np.ndarray) -> "ForestBatch":
+        """Extend every sample with a new node ``n`` attached as a leaf.
+
+        ``leaf_parents[b]`` is the (existing) node the new node hangs off in
+        sample ``b``.  This is the pool's node-insertion primitive: a rooted
+        forest of ``G + z`` in which ``z`` is a leaf is exactly a rooted
+        forest of ``G`` plus an independent choice of ``z``'s parent, so the
+        extension keeps every stored sample a valid spanning forest of the
+        grown graph.  Cached root maps and depths extend in O(B).
+        """
+        leaf_parents = np.asarray(leaf_parents, dtype=np.int64)
+        if leaf_parents.shape != (self.batch_size,):
+            raise InvalidParameterError(
+                f"leaf_parents must have shape ({self.batch_size},), "
+                f"got {leaf_parents.shape}"
+            )
+        if leaf_parents.size and (
+                leaf_parents.min() < 0 or leaf_parents.max() >= self.n):
+            raise InvalidParameterError("leaf parents outside node range")
+        parent = np.concatenate([self.parent, leaf_parents[:, None]], axis=1)
+        grown = ForestBatch(parent=parent, roots=self.roots.copy())
+        if self._root_of is not None:
+            rows = np.arange(self.batch_size)
+            grown._root_of = np.concatenate(
+                [self._root_of, self._root_of[rows, leaf_parents][:, None]],
+                axis=1)
+            grown._depth = np.concatenate(
+                [self._depth, (self._depth[rows, leaf_parents] + 1)[:, None]],
+                axis=1)
+        return grown
+
+    @classmethod
+    def from_forests(cls, forests: List[Forest]) -> "ForestBatch":
+        """Stack standalone :class:`Forest` objects into one batch."""
+        if not forests:
+            raise InvalidParameterError(
+                "from_forests needs at least one forest (roots are unknown "
+                "for an empty batch)"
+            )
+        roots = forests[0].roots
+        for forest in forests[1:]:
+            if forest.n != forests[0].n or not np.array_equal(forest.roots, roots):
+                raise InvalidParameterError(
+                    "all forests of a batch must share node count and roots"
+                )
+        return cls(parent=np.vstack([f.parent for f in forests]),
+                   roots=roots.copy())
+
+    @classmethod
+    def concatenate(cls, batches: List["ForestBatch"]) -> "ForestBatch":
+        """Stack batches over the same graph and root set into one."""
+        if not batches:
+            raise InvalidParameterError("concatenate needs at least one batch")
+        first = batches[0]
+        for batch in batches[1:]:
+            if batch.n != first.n or not np.array_equal(batch.roots, first.roots):
+                raise InvalidParameterError(
+                    "all batches must share node count and roots"
+                )
+        return cls(parent=np.vstack([b.parent for b in batches]),
+                   roots=first.roots.copy())
+
     # ------------------------------------------------------------ materialise
     def forest(self, index: int) -> Forest:
         """Row ``index`` as a standalone :class:`Forest` (caches carried over)."""

@@ -20,7 +20,7 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.dynamic.graph import DynamicGraph, GraphUpdate
 
@@ -134,8 +134,13 @@ class ServiceResponse:
     ``result`` is a :class:`repro.centrality.result.CFCMResult` for selection
     queries and a ``float`` for evaluations; ``version`` is read atomically
     with the computation, so the response equals what a fresh synchronous
-    engine would return on the graph replayed to that version.
+    engine would return on the graph replayed to that version.  ``stats`` is
+    an engine-stats snapshot taken atomically with the answer (cache
+    counters plus per-pool ESS health — see
+    :meth:`repro.dynamic.EngineStats.as_dict`), so operators can watch pool
+    health ride along with ordinary responses.
     """
 
     result: Any
     version: int
+    stats: Optional[Dict[str, Any]] = None

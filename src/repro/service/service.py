@@ -253,17 +253,17 @@ class AsyncCFCMService:
         try:
             await self._consistency_barrier(consistency)
 
-            def work() -> Tuple[object, int]:
+            def work() -> Tuple[object, int, Dict[str, object]]:
                 with self._state_lock:
                     result = self.engine.query(k, method=method, eps=eps, evaluate=evaluate)
-                    return result, self.graph.version
+                    return result, self.graph.version, self.engine.stats.as_dict()
 
-            result, version = await self._pool.run(work)
+            result, version, stats = await self._pool.run(work)
         except asyncio.CancelledError:
             self.stats.cancelled += 1
             raise
         self.stats.queries += 1
-        return ServiceResponse(result=result, version=version)
+        return ServiceResponse(result=result, version=version, stats=stats)
 
     async def evaluate(
         self,
@@ -276,17 +276,17 @@ class AsyncCFCMService:
         try:
             await self._consistency_barrier(consistency)
 
-            def work() -> Tuple[float, int]:
+            def work() -> Tuple[float, int, Dict[str, object]]:
                 with self._state_lock:
                     value = self.engine.evaluate(group, mode=mode)
-                    return value, self.graph.version
+                    return value, self.graph.version, self.engine.stats.as_dict()
 
-            value, version = await self._pool.run(work)
+            value, version, stats = await self._pool.run(work)
         except asyncio.CancelledError:
             self.stats.cancelled += 1
             raise
         self.stats.evaluations += 1
-        return ServiceResponse(result=value, version=version)
+        return ServiceResponse(result=value, version=version, stats=stats)
 
     async def refresh(self) -> int:
         """Pump engine maintenance (pool sync + journal compaction) once.

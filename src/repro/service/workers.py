@@ -25,11 +25,15 @@ import asyncio
 import concurrent.futures
 import functools
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Callable, List, Sequence
+from typing import Any, Callable, List, Sequence, Union
 
 from repro.exceptions import ServiceClosedError
 from repro.graph.graph import Graph
-from repro.sampling.batch import LOCKSTEP_STATE_LIMIT
+from repro.sampling.batch import (
+    LOCKSTEP_STATE_LIMIT,
+    ForestBatch,
+    sample_forest_batch_vectorized,
+)
 from repro.sampling.forest import Forest
 from repro.sampling.parallel import sample_forest_batch
 
@@ -92,22 +96,25 @@ class WorkerPool:
 
     def sample_forests(
         self, graph: Graph, roots: Sequence[int], count: int, seed: int
-    ) -> List[Forest]:
+    ) -> Union[ForestBatch, List[Forest]]:
         """Draw ``count`` rooted forests, vectorised by default.
 
         Matches the ``sampler(snapshot, compact_roots, count, seed)``
         signature of :meth:`repro.dynamic.DynamicCFCM.refill_pool`.  The
-        batch is drawn with the lockstep vectorised kernel; only when
-        ``process_workers`` is configured *and* the batch state would
-        exceed the lockstep limit does the scalar sampler fan out over a
-        process pool (with reproducibly derived child seeds, so that batch
-        is identical however many processes draw it).
+        batch is drawn with the lockstep vectorised kernel and returned as
+        one :class:`~repro.sampling.batch.ForestBatch` (which the engine's
+        weighted pools admit without materialising per-forest objects);
+        only when ``process_workers`` is configured *and* the batch state
+        would exceed the lockstep limit does the scalar sampler fan out
+        over a process pool (with reproducibly derived child seeds, so that
+        batch is identical however many processes draw it) and return a
+        plain forest list.
         """
         if self.process_workers > 0 and count * graph.n > LOCKSTEP_STATE_LIMIT:
             return sample_forest_batch(graph, roots, count, seed=seed,
                                        workers=self.process_workers,
                                        method="scalar")
-        return sample_forest_batch(graph, roots, count, seed=seed)
+        return sample_forest_batch_vectorized(graph, roots, count, seed=seed)
 
     async def close(self) -> None:
         """Reject new work and wait for in-flight work to finish."""

@@ -12,7 +12,6 @@ from repro.dynamic import (
     apply_random_update,
     random_update_journal,
 )
-from repro.dynamic.engine import _forest_uses_edge
 from repro.exceptions import (
     DisconnectedGraphError,
     GraphError,
@@ -303,59 +302,87 @@ class TestDynamicCFCM:
 
     def test_forest_pool_selective_invalidation(self, karate):
         graph = DynamicGraph(karate)
-        engine = DynamicCFCM(graph, seed=1, pool_size=16, max_drift=100)
+        engine = DynamicCFCM(graph, seed=1, pool_size=16)
         group = [0, 33]
         engine.evaluate_forest(group)
         assert engine.stats.forests_resampled == 16
         pool = engine._pools[(0, 33)]
         # Remove an edge: only the forests whose parent pointers use it are
-        # dropped, the rest of the pool survives.
+        # dropped, the rest of the pool survives at full weight.
         removed = graph.remove_edge(2, 3)
-        invalid = sum(_forest_uses_edge(f, removed.u, removed.v) for f in pool.forests)
+        invalid = int(np.count_nonzero(pool.batch().uses_edge(removed.u, removed.v)))
         engine.evaluate_forest(group)
-        assert len(pool.forests) == 16
+        assert pool.size == 16
+        assert engine.stats.forests_dropped == invalid
         assert engine.stats.forests_resampled == 16 + invalid
         assert engine.stats.forests_kept >= 16 - invalid
 
-    def test_forest_pool_drift_flush_on_insertions(self, karate):
+    def test_forest_pool_survives_insertions_with_decayed_ess(self, karate):
         graph = DynamicGraph(karate)
-        engine = DynamicCFCM(graph, seed=1, pool_size=8, max_drift=1)
-        engine.evaluate_forest([0])
-        graph.add_edge(15, 20)
-        engine.evaluate_forest([0])  # drift 1 <= max_drift: forests kept
-        assert engine.stats.pools_flushed == 0
-        graph.add_edge(15, 22)
-        graph.add_edge(16, 23)
-        engine.evaluate_forest([0])  # drift 3 > max_drift: pool flushed
-        assert engine.stats.pools_flushed == 1
-
-    def test_refilled_pool_starts_with_zero_drift(self, karate):
-        graph = DynamicGraph(karate)
-        engine = DynamicCFCM(graph, seed=1, pool_size=4, max_drift=2)
+        engine = DynamicCFCM(graph, seed=1, pool_size=8)
         engine.evaluate_forest([0])
         pool = engine._pools[(0,)]
-        # Simulate a deletion having invalidated every stored forest while
-        # insertions had already pushed drift to the limit.
+        assert pool.ess() == pytest.approx(8.0)
+        graph.add_edge(15, 20)
+        engine.evaluate_forest([0])
+        # Insertions never flush: the stored forests survive with uniformly
+        # decayed importance weights, and the decay shows up as ESS < size.
+        assert engine.stats.pools_flushed == 0
+        assert pool.size == 8
+        assert 0.0 < pool.ess() < 8.0
+        assert np.all(pool.weights() < 1.0)
+
+    def test_ess_floor_triggers_fresh_topup(self, karate):
+        graph = DynamicGraph(karate)
+        engine = DynamicCFCM(graph, seed=1, pool_size=8, ess_floor=0.9)
+        engine.evaluate_forest([0])
+        resampled = engine.stats.forests_resampled
+        # Pile on insertions until the decayed ESS crosses the (high) floor.
+        for u, v in [(15, 20), (15, 22), (16, 23), (16, 24), (17, 25)]:
+            graph.add_edge(u, v)
+        engine.evaluate_forest([0])
+        assert engine.stats.ess_topups >= 1
+        assert engine.stats.forests_resampled > resampled
+        assert engine.stats.pools_flushed == 0
+        # The top-up restored the pool above its floor.
+        pool = engine._pools[(0,)]
+        assert pool.ess() >= 0.9 * 8 - 1e-9
+
+    def test_empty_pool_restarts_fresh(self, karate):
+        graph = DynamicGraph(karate)
+        engine = DynamicCFCM(graph, seed=1, pool_size=4)
+        engine.evaluate_forest([0])
+        # Simulate a deletion having invalidated every stored forest.
         graph.remove_edge(2, 3)
-        pool.forests = []
-        pool.drift = 2
+        engine._pools[(0,)].flush()
         engine.evaluate_forest([0])  # refilled entirely from current snapshot
-        assert pool.drift == 0
+        pool = engine._pools[(0,)]
+        assert pool.size == 4
+        assert pool.ess() == pytest.approx(4.0)
         graph.add_edge(15, 20)
         engine.evaluate_forest([0])  # one insertion must not flush fresh pool
         assert engine.stats.pools_flushed == 0
 
-    def test_forest_pool_flushed_on_reweight(self, karate):
+    def test_forest_pool_survives_reweight_roundtrip(self, karate):
         graph = DynamicGraph(karate)
         engine = DynamicCFCM(graph, seed=1, pool_size=4)
-        engine.evaluate_forest([0])
+        baseline = engine.evaluate_forest([0])
+        pool = engine._pools[(0,)]
         graph.update_weight(0, 1, 2.0)
         with pytest.raises(InvalidParameterError):
             engine.evaluate_forest([0])  # non-unit weights: estimator invalid
+        engine.sync()
+        # The reweight applied the exact density ratio to the edge's users
+        # instead of flushing the pool.
+        assert pool.size == 4
+        assert engine.stats.pools_flushed == 0
+        users = np.count_nonzero(pool.weights() > 1.0)
+        assert users == engine.stats.forests_reweighted
         graph.update_weight(0, 1, 1.0)
-        assert engine.evaluate_forest([0]) > 0.0
-        # The reweight events flushed the unit-resistor pool during the sync.
-        assert engine.stats.pools_flushed == 1
+        # The round-trip cancels exactly: same forests, same weights, and
+        # (version aside) the same estimate as before the excursion.
+        assert engine.evaluate_forest([0]) == pytest.approx(baseline, rel=1e-12)
+        assert pool.weights() == pytest.approx(np.ones(4))
 
     def test_eval_cache_hits(self, karate):
         engine = DynamicCFCM(DynamicGraph(karate), seed=0, pool_size=4)

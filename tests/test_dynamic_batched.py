@@ -533,13 +533,26 @@ class TestEngineNodeChurn:
         with pytest.raises(InvalidNodeError):
             engine.evaluate_exact([11])
 
-    def test_node_insertion_flushes_pools(self, karate):
+    def test_node_insertion_extends_pools_without_flush(self, karate):
         graph = DynamicGraph(karate)
         engine = DynamicCFCM(graph, seed=1, pool_size=4)
         engine.evaluate_forest([0])
-        graph.add_node([3, 5])
+        pool = engine._pools[(0,)]
+        event = graph.add_node([3, 5])
         engine.evaluate_forest([0])
-        assert engine.stats.pools_flushed == 1
+        # The stored forests were extended with the new node as a leaf
+        # (parent drawn among its attachments) instead of being flushed;
+        # the missing internal stratum shows up as decayed weights.
+        assert engine.stats.pools_flushed == 0
+        assert pool.size == 4
+        assert pool.n == graph.n
+        new_column = graph.compact_index(event.node)
+        attachments = set(graph.compact_nodes([3, 5]))
+        kept = pool.batch()
+        assert set(int(p) for p in kept.parent[:, new_column]) <= attachments
+        assert np.all(pool.weights() <= 1.0) and np.any(pool.weights() < 1.0)
+        for forest in kept:
+            forest.validate_against(graph.snapshot())
 
     def test_forest_estimate_after_churn(self, small_ba):
         graph = DynamicGraph(small_ba)

@@ -79,11 +79,18 @@ class TestLifecycle:
                 response = await service.evaluate(GROUP, mode="exact")
                 assert response.version == 0
                 assert response.result > 0.0
+                # Responses surface engine pool health atomically.
+                assert response.stats is not None
+                assert "pool_ess" in response.stats
+                forest = await service.evaluate(GROUP, mode="forest")
+                key = ",".join(str(v) for v in sorted(GROUP))
+                assert forest.stats["pool_ess"][key] > 0.0
+                assert forest.stats["forests_resampled"] > 0
                 return service
 
         service = run(scenario())
         assert not service.running
-        assert service.stats.evaluations == 1
+        assert service.stats.evaluations == 2
 
     def test_requests_require_start(self, base_graph):
         service = AsyncCFCMService(base_graph, seed=0)
