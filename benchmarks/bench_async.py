@@ -27,6 +27,7 @@ import time
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.dynamic import (
     DynamicCFCM,
     DynamicGraph,
@@ -34,7 +35,12 @@ from repro.dynamic import (
     poisson_traffic,
     random_update_journal,
 )
-from repro.experiments.report import write_bench_artifact
+from repro.experiments.report import (
+    metrics_prefix_for,
+    percentiles_ms,
+    write_bench_artifact,
+    write_obs_artifacts,
+)
 from repro.graph import generators
 from repro.service import AsyncCFCMService
 
@@ -86,29 +92,32 @@ def _replay_sync(base, report, seed):
     return final, wall, latencies
 
 
-def _percentiles(latencies):
-    if not latencies:
-        return {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
-    data = np.asarray(latencies, dtype=np.float64) * 1e3
-    return {
-        "p50_ms": float(np.percentile(data, 50)),
-        "p95_ms": float(np.percentile(data, 95)),
-        "p99_ms": float(np.percentile(data, 99)),
-    }
-
-
 def run_async_comparison(n=240, ops=160, rate=500.0, query_fraction=0.5,
                          workers=2, seed=0, verbose=True):
     """Async service vs synchronous engine on the same traffic; returns a row.
 
     Raises ``AssertionError`` when the two passes disagree beyond 1e-8 —
     they maintain the same journal, so any drift is a correctness bug, not
-    noise.
+    noise.  Both passes record onto :data:`repro.obs.REGISTRY`, and the row
+    carries the registry-derived request/engine-op latency histograms next
+    to the wall-clock percentiles.
     """
     base = generators.barabasi_albert(n, 3, seed=seed)
-    report, async_final, async_wall, stats = asyncio.run(
-        _drive_async(base, ops, rate, query_fraction, workers, seed))
-    sync_final, sync_wall, sync_latencies = _replay_sync(base, report, seed)
+    own_registry = not obs.REGISTRY.enabled
+    if own_registry:
+        obs.REGISTRY.reset()
+        obs.REGISTRY.enable()
+    try:
+        report, async_final, async_wall, stats = asyncio.run(
+            _drive_async(base, ops, rate, query_fraction, workers, seed))
+        sync_final, sync_wall, sync_latencies = _replay_sync(base, report, seed)
+    finally:
+        if own_registry:
+            obs.REGISTRY.disable()
+    # Recorded values survive disable(); registered at module import, so
+    # neither get() can miss.
+    request_seconds = obs.REGISTRY.get("repro_service_request_seconds")
+    op_seconds = obs.REGISTRY.get("repro_engine_op_seconds")
 
     drift = abs(async_final - sync_final)
     if not drift <= 1e-8 * max(1.0, abs(sync_final)):
@@ -130,8 +139,10 @@ def run_async_comparison(n=240, ops=160, rate=500.0, query_fraction=0.5,
         "evaluations": report.evaluations,
         "updates_applied": report.updates_applied,
         "mean_batch_size": stats["mean_batch_size"],
-        "async_query": _percentiles(report.query_latencies),
-        "sync_query": _percentiles(sync_latencies),
+        "async_query": percentiles_ms(report.query_latencies),
+        "sync_query": percentiles_ms(sync_latencies),
+        "service_request_histogram": request_seconds.summary(),
+        "engine_op_histogram": op_seconds.summary(),
     }
     if verbose:
         print(f"[bench_async] n={n} ops={ops}: async {async_wall:.4f}s "
@@ -177,6 +188,7 @@ def main(argv=None) -> int:
         return 1
     if output:
         write_bench_artifact(rows, output, benchmark="async_service")
+        write_obs_artifacts(metrics_prefix_for(output), label="bench_async")
     print("[bench_async] async service and synchronous baseline agreed to 1e-8")
     return 0
 

@@ -28,9 +28,15 @@ import time
 
 import numpy as np
 
+from repro import obs
 from repro.centrality.estimators import ForestAccumulator, rademacher_weights
 from repro.dynamic import DynamicCFCM, DynamicGraph
-from repro.experiments.report import write_bench_artifact
+from repro.experiments.report import (
+    metrics_prefix_for,
+    percentiles_ms,
+    write_bench_artifact,
+    write_obs_artifacts,
+)
 from repro.graph import generators
 from repro.sampling import sample_forest_batch_vectorized
 
@@ -111,26 +117,38 @@ def run_churn_comparison(n: int, pool_size: int, rounds: int,
     churn_rng = np.random.default_rng(seed + 4)
     replay_rng = np.random.default_rng(seed + 4)
 
-    engine.evaluate_forest(group)  # warm pool: steady-state reuse regime
-    reuse_seconds = 0.0
-    flush_seconds = 0.0
-    worst_reuse = worst_flush = 0.0
-    for _ in range(rounds):
-        _churn_round(reuse_graph, churn_rng, events_per_round, node_probability)
-        _churn_round(flush_graph, replay_rng, events_per_round, node_probability)
+    own_registry = not obs.REGISTRY.enabled
+    if own_registry:
+        obs.REGISTRY.reset()
+        obs.REGISTRY.enable()
+    try:
+        engine.evaluate_forest(group)  # warm pool: steady-state reuse regime
+        reuse_latencies: list = []
+        flush_latencies: list = []
+        worst_reuse = worst_flush = 0.0
+        for _ in range(rounds):
+            _churn_round(reuse_graph, churn_rng, events_per_round,
+                         node_probability)
+            _churn_round(flush_graph, replay_rng, events_per_round,
+                         node_probability)
 
-        start = time.perf_counter()
-        reuse_value = engine.evaluate_forest(group)
-        reuse_seconds += time.perf_counter() - start
+            start = time.perf_counter()
+            reuse_value = engine.evaluate_forest(group)
+            reuse_latencies.append(time.perf_counter() - start)
 
-        start = time.perf_counter()
-        flush_value = _flush_and_redraw_estimate(flush_graph, group, pool_size,
-                                                 flush_rng)
-        flush_seconds += time.perf_counter() - start
+            start = time.perf_counter()
+            flush_value = _flush_and_redraw_estimate(flush_graph, group,
+                                                     pool_size, flush_rng)
+            flush_latencies.append(time.perf_counter() - start)
 
-        exact = exact_engine.evaluate_exact(group)
-        worst_reuse = max(worst_reuse, abs(reuse_value - exact) / exact)
-        worst_flush = max(worst_flush, abs(flush_value - exact) / exact)
+            exact = exact_engine.evaluate_exact(group)
+            worst_reuse = max(worst_reuse, abs(reuse_value - exact) / exact)
+            worst_flush = max(worst_flush, abs(flush_value - exact) / exact)
+    finally:
+        if own_registry:
+            obs.REGISTRY.disable()
+    reuse_seconds = sum(reuse_latencies)
+    flush_seconds = sum(flush_latencies)
 
     if worst_reuse > tolerance or worst_flush > tolerance:
         raise AssertionError(
@@ -157,6 +175,12 @@ def run_churn_comparison(n: int, pool_size: int, rounds: int,
         "pools_flushed": stats.pools_flushed,
         "worst_reuse_error": worst_reuse,
         "worst_flush_error": worst_flush,
+        "reuse_eval_latency": percentiles_ms(reuse_latencies),
+        "flush_eval_latency": percentiles_ms(flush_latencies),
+        # Recorded values survive disable(); registered at engine-module
+        # import, so get() cannot miss.
+        "engine_op_histogram":
+            obs.REGISTRY.get("repro_engine_op_seconds").summary(),
     }
     if verbose:
         print(f"[churn] n={n} B={pool_size} rounds={rounds}  "
@@ -175,18 +199,20 @@ def run_fold_comparison(n: int, batch: int, jl_rows: int, repeats: int = 3,
     forests = sample_forest_batch_vectorized(graph, roots, batch, seed=seed + 1)
 
     def timed(method: str):
-        best = float("inf")
+        times = []
         accumulator = None
         for _ in range(max(1, repeats)):
             accumulator = ForestAccumulator(graph, roots, weights=jl,
                                             tracked_roots=[roots[0]], seed=0)
             start = time.perf_counter()
             accumulator.add_batch(forests, method=method)
-            best = min(best, time.perf_counter() - start)
-        return best, accumulator
+            times.append(time.perf_counter() - start)
+        return times, accumulator
 
-    scalar_seconds, scalar_acc = timed("scalar")
-    batched_seconds, batched_acc = timed("batched")
+    scalar_times, scalar_acc = timed("scalar")
+    batched_times, batched_acc = timed("batched")
+    scalar_seconds = min(scalar_times)
+    batched_seconds = min(batched_times)
     for name in ("projected_sum", "diag_sum", "diag_sumsq", "root_counts"):
         if not np.allclose(getattr(scalar_acc, name), getattr(batched_acc, name),
                            atol=1e-9):
@@ -199,6 +225,8 @@ def run_fold_comparison(n: int, batch: int, jl_rows: int, repeats: int = 3,
         "batched_fold_seconds": batched_seconds,
         "fold_speedup": scalar_seconds / batched_seconds
         if batched_seconds else float("inf"),
+        "scalar_fold_latency": percentiles_ms(scalar_times),
+        "batched_fold_latency": percentiles_ms(batched_times),
     }
     if verbose:
         print(f"[fold] n={n} B={batch} w={jl_rows}  "
@@ -249,6 +277,12 @@ def main(argv=None) -> int:
         min_speedup = 1.2 if min_speedup is None else min_speedup
         min_fold = 1.2 if min_fold is None else min_fold
 
+    # One registry session spans both comparisons, so the METRICS_* artifact
+    # carries the churn run's engine/pool histograms alongside the fold's.
+    own_registry = not obs.REGISTRY.enabled
+    if own_registry:
+        obs.REGISTRY.reset()
+        obs.REGISTRY.enable()
     try:
         churn = run_churn_comparison(args.n, args.pool, args.rounds,
                                      args.events, args.node_probability,
@@ -273,9 +307,13 @@ def main(argv=None) -> int:
     except AssertionError as exc:
         print(f"[bench_pool] smoke check FAILED: {exc}")
         return 1
+    finally:
+        if own_registry:
+            obs.REGISTRY.disable()
     rows = [dict(churn, comparison="churn"), dict(fold, comparison="fold")]
     if output:
         write_bench_artifact(rows, output, benchmark="pool_reuse")
+        write_obs_artifacts(metrics_prefix_for(output), label="bench_pool")
     print(f"[bench_pool] churn reuse x{churn['speedup']:.2f}, "
           f"batched fold x{fold['fold_speedup']:.2f}; "
           "all estimates checked against the exact reference")

@@ -36,7 +36,13 @@ import time
 import numpy as np
 import pytest
 
-from repro.experiments.report import write_bench_artifact
+from repro import obs
+from repro.experiments.report import (
+    metrics_prefix_for,
+    percentiles_ms,
+    write_bench_artifact,
+    write_obs_artifacts,
+)
 from repro.graph import generators
 from repro.sampling import (
     sample_forest_batch,
@@ -104,13 +110,14 @@ class TestBatchPostprocessing:
 # --------------------------------------------------------------------------
 
 def _time_best_of(repeats, fn):
-    best = float("inf")
+    """All per-repeat timings (seconds) plus the last result."""
+    times = []
     result = None
     for _ in range(max(1, repeats)):
         start = time.perf_counter()
         result = fn()
-        best = min(best, time.perf_counter() - start)
-    return best, result
+        times.append(time.perf_counter() - start)
+    return times, result
 
 
 def run_sampling_comparison(configs, repeats: int = 3, seed: int = 0,
@@ -132,12 +139,14 @@ def run_sampling_comparison(configs, repeats: int = 3, seed: int = 0,
             return [sample_rooted_forest(graph, roots, seed=rng)
                     for _ in range(batch)]
 
-        scalar_seconds, _ = _time_best_of(repeats, scalar_draw)
-        lockstep_seconds, lockstep_batch = _time_best_of(
+        scalar_times, _ = _time_best_of(repeats, scalar_draw)
+        lockstep_times, lockstep_batch = _time_best_of(
             repeats,
             lambda: sample_forest_batch_vectorized(graph, roots, batch,
                                                    seed=seed + 1),
         )
+        scalar_seconds = min(scalar_times)
+        lockstep_seconds = min(lockstep_times)
         # The timings only compare identically distributed draws if the
         # lockstep batch is a genuine forest sample; validate it.
         lockstep_batch.forest(0).validate_against(graph)
@@ -146,13 +155,14 @@ def run_sampling_comparison(configs, repeats: int = 3, seed: int = 0,
 
         pool_seconds = None
         if pool_workers > 0:
-            pool_seconds, _ = _time_best_of(
+            pool_times, _ = _time_best_of(
                 1,
                 lambda: sample_forest_batch(graph, roots, batch,
                                             seed=seed + 1,
                                             workers=pool_workers,
                                             method="scalar"),
             )
+            pool_seconds = min(pool_times)
 
         row = {
             "n": int(n),
@@ -164,6 +174,8 @@ def run_sampling_comparison(configs, repeats: int = 3, seed: int = 0,
             "pool_seconds": pool_seconds,
             "speedup": scalar_seconds / lockstep_seconds
             if lockstep_seconds else float("inf"),
+            "scalar_draw_latency": percentiles_ms(scalar_times),
+            "lockstep_draw_latency": percentiles_ms(lockstep_times),
         }
         rows.append(row)
         if verbose:
@@ -219,6 +231,10 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     output = args.output_json
+    own_registry = not obs.REGISTRY.enabled
+    if own_registry:
+        obs.REGISTRY.reset()
+        obs.REGISTRY.enable()
     try:
         if args.smoke:
             output = output or "BENCH_sampling.json"
@@ -254,8 +270,12 @@ def main(argv=None) -> int:
     except AssertionError as exc:
         print(f"[bench_sampling] smoke check FAILED: {exc}")
         return 1
+    finally:
+        if own_registry:
+            obs.REGISTRY.disable()
     if output:
         write_bench_artifact(rows, output, benchmark="sampling_lockstep")
+        write_obs_artifacts(metrics_prefix_for(output), label="bench_sampling")
     headline = max(rows, key=lambda row: row["speedup"])
     print(f"[bench_sampling] {len(rows)} configs compared; best lockstep "
           f"speedup x{headline['speedup']:.2f} "

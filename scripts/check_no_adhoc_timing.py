@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Lint: no ad-hoc timing in the library source tree.
+
+Every module under ``src/repro`` must take its timestamps from
+``repro.utils.timer.clock`` (the sanctioned monotonic clock, whose readings
+feed the :mod:`repro.obs` histograms) instead of calling
+``time.perf_counter`` directly.  Ad-hoc ``perf_counter`` calls produce
+timings the observability layer never sees, which is exactly the drift this
+check exists to stop.
+
+Allowed exceptions:
+
+* ``src/repro/obs/`` — the observability layer itself (span tracing needs
+  the raw clock);
+* ``src/repro/utils/timer.py`` — the module that defines ``clock``.
+
+Benchmarks, tests, examples and scripts are out of scope on purpose: they
+are measurement harnesses, not library code.
+
+Exit status is non-zero when an offending line is found (CI gates on it)::
+
+    python scripts/check_no_adhoc_timing.py
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+ALLOWED_FILES = {SRC / "utils" / "timer.py"}
+ALLOWED_DIRS = (SRC / "obs",)
+PATTERN = re.compile(r"\bperf_counter\b")
+
+
+def find_offenders() -> list:
+    """``path:line: source`` strings for every ad-hoc timing call."""
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path in ALLOWED_FILES:
+            continue
+        if any(parent in ALLOWED_DIRS for parent in (path, *path.parents)):
+            continue
+        for lineno, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1):
+            if PATTERN.search(line):
+                relative = path.relative_to(REPO)
+                offenders.append(f"{relative}:{lineno}: {line.strip()}")
+    return offenders
+
+
+def main() -> int:
+    offenders = find_offenders()
+    if offenders:
+        print("[check_no_adhoc_timing] ad-hoc perf_counter timing in library "
+              "code; use repro.utils.timer.clock instead:")
+        for offender in offenders:
+            print(f"  {offender}")
+        return 1
+    print("[check_no_adhoc_timing] OK: src/repro times through "
+          "repro.utils.timer.clock only")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,6 +16,7 @@ Quickstart
 >>> value = repro.group_cfcc(graph, result.group)
 """
 
+import repro.obs as obs
 from repro.exceptions import (
     ConvergenceError,
     DisconnectedGraphError,
@@ -64,6 +65,8 @@ __version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    # observability
+    "obs",
     # exceptions
     "ReproError",
     "GraphError",

@@ -51,6 +51,7 @@ from repro.exceptions import InvalidParameterError
 from repro.graph.graph import Graph
 from repro.graph.traversal import BFSTree, bfs_tree
 from repro.linalg.jl import jl_dimension
+from repro.obs.tracing import trace
 from repro.sampling.batch import (
     ForestBatch,
     LOCKSTEP_STATE_LIMIT,
@@ -443,22 +444,24 @@ class ForestAccumulator:
                     "per-forest weights must be finite and non-negative"
                 )
         method = str(method).lower()
-        if method == "batched":
-            self._fold_batched(batch, weights)
-            return
-        if method != "scalar":
+        if method not in ("batched", "scalar"):
             raise InvalidParameterError(
                 f"method must be 'batched' or 'scalar', got {method!r}"
             )
-        subtree = batch.subtree_sums(self.weights) if self.weights.shape[0] else None
-        root_of = batch.root_of() if self.tracked_roots else None
-        for index in range(batch.batch_size):
-            self._fold(
-                batch.parent[index],
-                None if subtree is None else subtree[index],
-                None if root_of is None else root_of[index],
-                weight=float(weights[index]),
-            )
+        with trace("estimator.fold", forests=batch.batch_size, method=method):
+            if method == "batched":
+                self._fold_batched(batch, weights)
+                return
+            subtree = (batch.subtree_sums(self.weights)
+                       if self.weights.shape[0] else None)
+            root_of = batch.root_of() if self.tracked_roots else None
+            for index in range(batch.batch_size):
+                self._fold(
+                    batch.parent[index],
+                    None if subtree is None else subtree[index],
+                    None if root_of is None else root_of[index],
+                    weight=float(weights[index]),
+                )
 
     def _process(self, forest, weight: float = 1.0) -> None:
         subtree = forest.subtree_sums(self.weights) if self.weights.shape[0] else None

@@ -17,7 +17,7 @@ matches ForestCFCM's.
 
 from __future__ import annotations
 
-import time
+from repro.utils.timer import clock
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -113,7 +113,7 @@ class SchurCFCM:
     def run(self, k: int) -> CFCMResult:
         """Select a group of ``k`` nodes maximising (approximately) CFCC."""
         check_integer("k", k, minimum=1, maximum=self.graph.n - 1)
-        start = time.perf_counter()
+        start = clock()
         iteration_log = []
 
         first, scores, diagnostics = estimate_first_pick(
@@ -139,7 +139,7 @@ class SchurCFCM:
                 "stopped_early": bool(diag["stopped_early"]),
             })
 
-        runtime = time.perf_counter() - start
+        runtime = clock() - start
         return CFCMResult(
             method=self.method_name,
             group=group,

@@ -39,13 +39,17 @@ Hit/miss, reweighting/top-up counters and per-pool ESS are exposed via
 
 from __future__ import annotations
 
+import copy
 import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.exceptions import GraphError, InvalidParameterError
+from repro.obs.metrics import REGISTRY, SIZE_BUCKETS
+from repro.obs.tracing import trace
 from repro.centrality.estimators import (
     PathSystem,
     SamplingConfig,
@@ -62,7 +66,35 @@ from repro.sampling.pool import (
     node_internal_prior,
 )
 from repro.utils.rng import RandomState, as_rng
+from repro.utils.timer import clock
 from repro.utils.validation import check_integer
+
+# Hot-path metrics (no-ops until the default registry is enabled).
+_OP_SECONDS = REGISTRY.histogram(
+    "repro_engine_op_seconds", "Wall time of one engine operation",
+    labels=("op",),
+)
+_TOPUP_FORESTS = REGISTRY.histogram(
+    "repro_engine_topup_forests", "Fresh forests drawn per pool top-up",
+    buckets=SIZE_BUCKETS,
+)
+_FOLD_FORESTS = REGISTRY.histogram(
+    "repro_engine_fold_forests", "Stale forests folded per estimator fold",
+    buckets=SIZE_BUCKETS,
+)
+
+
+@contextmanager
+def _op_timer(op: str):
+    """Record one engine operation's wall time onto the op histogram."""
+    if not REGISTRY.enabled:
+        yield
+        return
+    start = clock()
+    try:
+        yield
+    finally:
+        _OP_SECONDS.observe(clock() - start, op=op)
 
 
 @dataclass
@@ -116,7 +148,9 @@ class EngineStats:
             "batched_events": self.batched_events,
             "node_evictions": self.node_evictions,
             "hit_rate": self.hit_rate(),
-            "pool_ess": dict(self.pool_ess),
+            # Deep-copied so a snapshot attached to a response cannot mutate
+            # under later engine activity (pool_ess nests per-pool state).
+            "pool_ess": copy.deepcopy(self.pool_ess),
         }
 
 
@@ -247,38 +281,43 @@ class DynamicCFCM:
                 "to 1 (weighted graphs are supported for evaluation via "
                 "evaluate_exact only)"
             )
-        # Keep the pool/tracker state machine and journal compaction moving
-        # under query-only traffic too, or the journal would grow unboundedly
-        # in a service that never calls the evaluate paths.
-        self._sync_pools()
-        # True and "exact" request the same evaluation; normalising the key
-        # keeps them from occupying two cache slots for one result.
-        if evaluate is True:
-            evaluate = "exact"
-        key = (k, str(method).lower(), round(float(eps), 9),
-               str(evaluate) if evaluate else "")
-        cached = self._query_cache.get(key)
-        if cached is not None and cached[0] == self.graph.version:
-            self.stats.query_hits += 1
-            _lru_store(self._query_cache, key, cached, self.cache_capacity)
-            return cached[1]
-        self.stats.query_misses += 1
-        child_seed = int(self.rng.integers(0, 2**62))
-        result = maximize_cfcc(self.graph.snapshot(), k, method=method, eps=eps,
-                               seed=child_seed, config=self.config,
-                               evaluate=evaluate)
-        mapping = self.graph.snapshot_mapping()
-        if int(mapping[-1]) != mapping.size - 1:
-            # Node churn left holes in the id space: translate the snapshot's
-            # compact ids back to the stable ids callers reason in — in the
-            # group and in the per-iteration diagnostics alike.
-            result.group = [int(mapping[node]) for node in result.group]
-            for entry in result.iteration_log:
-                if "node" in entry:
-                    entry["node"] = int(mapping[entry["node"]])
-        _lru_store(self._query_cache, key, (self.graph.version, result),
-                   self.cache_capacity)
-        return result
+        with trace("engine.query", k=k, method=str(method).lower()) as span, \
+                _op_timer("query"):
+            # Keep the pool/tracker state machine and journal compaction
+            # moving under query-only traffic too, or the journal would grow
+            # unboundedly in a service that never calls the evaluate paths.
+            self._sync_pools()
+            # True and "exact" request the same evaluation; normalising the
+            # key keeps them from occupying two cache slots for one result.
+            if evaluate is True:
+                evaluate = "exact"
+            key = (k, str(method).lower(), round(float(eps), 9),
+                   str(evaluate) if evaluate else "")
+            cached = self._query_cache.get(key)
+            if cached is not None and cached[0] == self.graph.version:
+                self.stats.query_hits += 1
+                span.set(cache="hit")
+                _lru_store(self._query_cache, key, cached, self.cache_capacity)
+                return cached[1]
+            self.stats.query_misses += 1
+            span.set(cache="miss")
+            child_seed = int(self.rng.integers(0, 2**62))
+            result = maximize_cfcc(self.graph.snapshot(), k, method=method,
+                                   eps=eps, seed=child_seed, config=self.config,
+                                   evaluate=evaluate)
+            mapping = self.graph.snapshot_mapping()
+            if int(mapping[-1]) != mapping.size - 1:
+                # Node churn left holes in the id space: translate the
+                # snapshot's compact ids back to the stable ids callers
+                # reason in — in the group and in the per-iteration
+                # diagnostics alike.
+                result.group = [int(mapping[node]) for node in result.group]
+                for entry in result.iteration_log:
+                    if "node" in entry:
+                        entry["node"] = int(mapping[entry["node"]])
+            _lru_store(self._query_cache, key, (self.graph.version, result),
+                       self.cache_capacity)
+            return result
 
     def evaluate(self, group: Sequence[int], mode: str = "exact") -> float:
         """Group CFCC of ``group`` on the current graph.
@@ -297,22 +336,26 @@ class DynamicCFCM:
 
     def evaluate_exact(self, group: Sequence[int]) -> float:
         """Exact group CFCC via the per-group incremental inverse."""
-        self._sync_pools()
-        key = self.graph.validate_group(group)
-        tracker = self._trackers.get(key)
-        if tracker is None:
-            self.stats.eval_misses += 1
-            tracker = IncrementalResistance(self.graph, key,
-                                            refresh_interval=self.refresh_interval)
-        else:
-            self.stats.eval_hits += 1
-        _lru_store(self._trackers, key, tracker, self.cache_capacity)
-        batches = tracker.stats.batch_updates
-        events = tracker.stats.batched_events
-        value = tracker.group_cfcc()
-        self.stats.batch_updates += tracker.stats.batch_updates - batches
-        self.stats.batched_events += tracker.stats.batched_events - events
-        return value
+        with trace("engine.evaluate_exact") as span, _op_timer("evaluate_exact"):
+            self._sync_pools()
+            key = self.graph.validate_group(group)
+            span.set(group=_pool_key(key))
+            tracker = self._trackers.get(key)
+            if tracker is None:
+                self.stats.eval_misses += 1
+                span.set(cache="miss")
+                tracker = IncrementalResistance(
+                    self.graph, key, refresh_interval=self.refresh_interval)
+            else:
+                self.stats.eval_hits += 1
+                span.set(cache="hit")
+            _lru_store(self._trackers, key, tracker, self.cache_capacity)
+            batches = tracker.stats.batch_updates
+            events = tracker.stats.batched_events
+            value = tracker.group_cfcc()
+            self.stats.batch_updates += tracker.stats.batch_updates - batches
+            self.stats.batched_events += tracker.stats.batched_events - events
+            return value
 
     def evaluate_forest(self, group: Sequence[int]) -> float:
         """Estimated group CFCC from the importance-weighted forest pool.
@@ -329,41 +372,50 @@ class DynamicCFCM:
                 "forest evaluation assumes unit edge weights; use mode='exact'"
             )
         roots = self.graph.validate_group(group)
-        self._sync_pools()
-        cache_key = ("forest", roots)
-        cached = self._eval_cache.get(cache_key)
-        if cached is not None and cached[0] == self.graph.version:
-            self.stats.eval_hits += 1
-            _lru_store(self._eval_cache, cache_key, cached, self.cache_capacity)
-            return cached[1]
-        self.stats.eval_misses += 1
+        with trace("engine.evaluate_forest", roots=_pool_key(roots)) as span, \
+                _op_timer("evaluate_forest"):
+            self._sync_pools()
+            cache_key = ("forest", roots)
+            cached = self._eval_cache.get(cache_key)
+            if cached is not None and cached[0] == self.graph.version:
+                self.stats.eval_hits += 1
+                span.set(cache="hit")
+                _lru_store(self._eval_cache, cache_key, cached,
+                           self.cache_capacity)
+                return cached[1]
+            self.stats.eval_misses += 1
+            span.set(cache="miss")
 
-        snapshot = self.graph.snapshot()
-        compact_roots = self.graph.compact_nodes(roots)
-        pool = self._require_pool(roots, compact_roots)
-        self.stats.forests_kept += pool.size
-        self._top_up(pool, snapshot, compact_roots)
+            snapshot = self.graph.snapshot()
+            compact_roots = self.graph.compact_nodes(roots)
+            pool = self._require_pool(roots, compact_roots)
+            self.stats.forests_kept += pool.size
+            self._top_up(pool, snapshot, compact_roots)
 
-        # One weight-aware batched fold — and only over the forests whose
-        # trace contribution is not already cached against the pool's path
-        # system (fresh draws, or everything after a path invalidation).
-        path = self._paths.get(roots)
-        if path is None or path.n != snapshot.n:
-            path = PathSystem.from_graph(snapshot, compact_roots)
-            self._paths[roots] = path
-            pool.invalidate_traces()
-        stale = np.flatnonzero(~pool.trace_valid)
-        if stale.size:
-            diag = batched_diag_estimates(pool.batch().parent[stale], path)
-            pool.set_traces(stale, diag.sum(axis=1))
-            self.stats.forests_folded += int(stale.size)
-        weights = pool.weights()
-        trace = float(weights @ pool.traces) / float(weights.sum())
-        value = self.graph.n / trace
-        _lru_store(self._eval_cache, cache_key, (self.graph.version, value),
-                   self.cache_capacity)
-        self._record_pool_health(roots, pool)
-        return value
+            # One weight-aware batched fold — and only over the forests whose
+            # trace contribution is not already cached against the pool's
+            # path system (fresh draws, or everything after a path
+            # invalidation).
+            path = self._paths.get(roots)
+            if path is None or path.n != snapshot.n:
+                path = PathSystem.from_graph(snapshot, compact_roots)
+                self._paths[roots] = path
+                pool.invalidate_traces()
+            stale = np.flatnonzero(~pool.trace_valid)
+            if stale.size:
+                with trace("estimator.fold", forests=int(stale.size)):
+                    diag = batched_diag_estimates(pool.batch().parent[stale],
+                                                  path)
+                    pool.set_traces(stale, diag.sum(axis=1))
+                _FOLD_FORESTS.observe(int(stale.size))
+                self.stats.forests_folded += int(stale.size)
+            weights = pool.weights()
+            pooled = float(weights @ pool.traces) / float(weights.sum())
+            value = self.graph.n / pooled
+            _lru_store(self._eval_cache, cache_key,
+                       (self.graph.version, value), self.cache_capacity)
+            self._record_pool_health(roots, pool)
+            return value
 
     def refill_pool(self, group: Sequence[int], sampler=None) -> int:
         """Top the forest pool of ``group`` up; returns the number drawn.
@@ -428,23 +480,25 @@ class DynamicCFCM:
             return 0
         if missing > self.pool_size - pool.size:
             self.stats.ess_topups += 1
-        if sampler is None:
-            fresh: ForestBatch | list = sample_forest_batch_vectorized(
-                snapshot, compact_roots, missing, seed=self.rng
-            )
-            drawn = fresh.batch_size
-        else:
-            child_seed = int(self.rng.integers(0, 2**62))
-            fresh = sampler(snapshot, compact_roots, missing, child_seed)
-            if not isinstance(fresh, ForestBatch):
-                fresh = list(fresh)  # materialise once: counted, then admitted
-            drawn = (fresh.batch_size if isinstance(fresh, ForestBatch)
-                     else len(fresh))
-        if drawn != missing:
-            raise InvalidParameterError(
-                f"sampler returned {drawn} forests, expected {missing}"
-            )
-        pool.admit(fresh)
+        with trace("pool.topup", missing=missing):
+            if sampler is None:
+                fresh: ForestBatch | list = sample_forest_batch_vectorized(
+                    snapshot, compact_roots, missing, seed=self.rng
+                )
+                drawn = fresh.batch_size
+            else:
+                child_seed = int(self.rng.integers(0, 2**62))
+                fresh = sampler(snapshot, compact_roots, missing, child_seed)
+                if not isinstance(fresh, ForestBatch):
+                    fresh = list(fresh)  # materialise once: counted, then admitted
+                drawn = (fresh.batch_size if isinstance(fresh, ForestBatch)
+                         else len(fresh))
+            if drawn != missing:
+                raise InvalidParameterError(
+                    f"sampler returned {drawn} forests, expected {missing}"
+                )
+            pool.admit(fresh)
+        _TOPUP_FORESTS.observe(missing)
         self.stats.forests_resampled += missing
         return missing
 
@@ -459,45 +513,54 @@ class DynamicCFCM:
         survivors flushed.  Afterwards the journal prefix every cached
         consumer has seen is compacted away.
         """
-        dirty = True
-        try:
-            events = self.graph.journal_since(self._pool_version)
-            dirty = bool(events)
-        except GraphError:
-            # Another consumer compacted the journal past our cursor; the
-            # replay is lost, so conservatively flush every pool and resume
-            # from the current version (trackers recover the same way).
-            for roots, pool in self._pools.items():
-                self._flush_pool(roots, pool)
-            self._pool_version = self.graph.version
-            events = []
-        removals = [event for event in events if event.kind == REMOVE_NODE]
-        if removals:
-            # Structural: process the node removals (evicting dependent
-            # state, flushing survivors).  Every pool ends up empty, so the
-            # edge/insertion events of the same suffix are no-ops for pools
-            # — which also means the per-event replay below may safely use
-            # the *current* id mapping.
-            for event in removals:
-                self._evict_node(int(event.node))
-        else:
-            for event in events:
-                if event.kind == ADD_NODE:
-                    self._extend_pools(event)
-                elif event.kind == ADD:
-                    self._decay_pools(event)
-                elif event.kind == REMOVE:
-                    self._invalidate_pools(event)
-                else:  # reweight: exact density-ratio importance update
-                    self._reweight_pools(event)
-        if events:
-            self._pool_version = self.graph.version
-        if dirty:
-            # Only re-snapshot pool health when something actually changed:
-            # ess() is O(B) per pool, and _sync_pools runs on every request.
-            for roots, pool in self._pools.items():
-                self._record_pool_health(roots, pool)
-        self._compact_journal()
+        if self.graph.version == self._pool_version:
+            # Nothing pending: skip the replay (and the span) entirely.
+            self._compact_journal()
+            return
+        with trace("engine.sync_pools",
+                   pending=self.graph.version - self._pool_version):
+            dirty = True
+            try:
+                events = self.graph.journal_since(self._pool_version)
+                dirty = bool(events)
+            except GraphError:
+                # Another consumer compacted the journal past our cursor; the
+                # replay is lost, so conservatively flush every pool and
+                # resume from the current version (trackers recover the same
+                # way).
+                for roots, pool in self._pools.items():
+                    self._flush_pool(roots, pool)
+                self._pool_version = self.graph.version
+                events = []
+            removals = [event for event in events if event.kind == REMOVE_NODE]
+            if removals:
+                # Structural: process the node removals (evicting dependent
+                # state, flushing survivors).  Every pool ends up empty, so
+                # the edge/insertion events of the same suffix are no-ops for
+                # pools — which also means the per-event replay below may
+                # safely use the *current* id mapping.
+                for event in removals:
+                    self._evict_node(int(event.node))
+            elif events:
+                with trace("pool.reweight", events=len(events)):
+                    for event in events:
+                        if event.kind == ADD_NODE:
+                            self._extend_pools(event)
+                        elif event.kind == ADD:
+                            self._decay_pools(event)
+                        elif event.kind == REMOVE:
+                            self._invalidate_pools(event)
+                        else:  # reweight: exact density-ratio update
+                            self._reweight_pools(event)
+            if events:
+                self._pool_version = self.graph.version
+            if dirty:
+                # Only re-snapshot pool health when something actually
+                # changed: ess() is O(B) per pool, and _sync_pools runs on
+                # every request.
+                for roots, pool in self._pools.items():
+                    self._record_pool_health(roots, pool)
+            self._compact_journal()
 
     def _extend_pools(self, event) -> None:
         """Attach an inserted node to every stored forest as a leaf.

@@ -54,7 +54,20 @@ from repro.linalg.updates import (
     grounded_inverse_edge_update,
     grounded_inverse_grow,
 )
+from repro.obs.metrics import REGISTRY, SIZE_BUCKETS
+from repro.obs.tracing import trace
+from repro.utils.timer import clock
 from repro.utils.validation import check_integer
+
+_SYNC_SECONDS = REGISTRY.histogram(
+    "repro_resistance_sync_seconds",
+    "Wall time of one IncrementalResistance journal synchronisation",
+)
+_SYNC_EVENTS = REGISTRY.histogram(
+    "repro_resistance_sync_events",
+    "Pending journal events folded per synchronisation",
+    buckets=SIZE_BUCKETS,
+)
 
 # (i, j, delta) in local row indices; j is None for a grounded endpoint.
 _Triple = Tuple[int, Optional[int], float]
@@ -132,6 +145,18 @@ class IncrementalResistance:
         graph = self.graph
         if self._synced_version >= graph.version:
             return self
+        pending = graph.version - self._synced_version
+        start = clock()
+        with trace("resistance.sync", pending=pending):
+            try:
+                return self._sync_pending(graph)
+            finally:
+                if REGISTRY.enabled:
+                    _SYNC_SECONDS.observe(clock() - start)
+                    _SYNC_EVENTS.observe(pending)
+
+    def _sync_pending(self, graph: DynamicGraph) -> "IncrementalResistance":
+        """The replay half of :meth:`sync` (pending events guaranteed)."""
         if self._synced_version < graph.journal_floor:
             # The suffix we need was compacted away; rebuild from scratch.
             self._factorize()

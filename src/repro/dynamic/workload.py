@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import asyncio
 import functools
-import time
+from repro.utils.timer import clock
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -330,7 +330,7 @@ async def poisson_traffic(service: "AsyncCFCMService", count: int,
                 tasks.append(asyncio.ensure_future(
                     _timed_query(service, k, method, eps, consistency, report)))
         else:
-            started = time.perf_counter()
+            started = clock()
             try:
                 ticket = await service.submit(mutation)
             except ServiceOverloadedError:
@@ -359,10 +359,10 @@ async def poisson_traffic(service: "AsyncCFCMService", count: int,
 
 async def _timed_evaluate(service: "AsyncCFCMService", group: Sequence[int],
                           consistency: str, report: TrafficReport) -> None:
-    started = time.perf_counter()
+    started = clock()
     response = await service.evaluate(group, mode="exact",
                                       consistency=consistency)
-    report.query_latencies.append(time.perf_counter() - started)
+    report.query_latencies.append(clock() - started)
     report.evaluations += 1
     report.eval_observations.append((response.version, float(response.result)))
 
@@ -370,10 +370,10 @@ async def _timed_evaluate(service: "AsyncCFCMService", group: Sequence[int],
 async def _timed_query(service: "AsyncCFCMService", k: int, method: str,
                        eps: float, consistency: str,
                        report: TrafficReport) -> None:
-    started = time.perf_counter()
+    started = clock()
     response = await service.query(k, method=method, eps=eps,
                                    consistency=consistency)
-    report.query_latencies.append(time.perf_counter() - started)
+    report.query_latencies.append(clock() - started)
     report.queries += 1
     report.query_observations.append(
         (response.version, tuple(response.result.group))

@@ -72,6 +72,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="shrink sweeps for a fast smoke run")
     parser.add_argument("--output-json", default=None,
                         help="optional path for a JSON dump of the results")
+    parser.add_argument("--metrics-prefix", default=None,
+                        help="dynamic/serve: write the metrics registry as "
+                             "<prefix>.prom and <prefix>.json after the run")
+    parser.add_argument("--trace-out", default=None,
+                        help="serve: stream the span trace to this JSON-lines file")
     return parser
 
 
@@ -108,13 +113,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         run_dynamic(k=k, eps=args.eps, max_samples=args.max_samples,
                     seed=args.seed, scale=args.scale, quick=args.quick,
                     batch=args.batch, node_churn=args.node_churn,
-                    output_json=args.output_json)
+                    output_json=args.output_json,
+                    metrics_prefix=args.metrics_prefix)
     if name == "serve":
         row = run_service(ops=args.ops, rate=args.rate,
                           query_fraction=args.query_fraction, k=k,
                           eps=args.eps, node_churn=args.node_churn,
                           workers=args.workers, seed=args.seed,
                           smoke=args.smoke, quick=args.quick,
-                          output_json=args.output_json)
+                          output_json=args.output_json,
+                          metrics_prefix=args.metrics_prefix,
+                          trace_output=args.trace_out)
         return 1 if row["failures"] else 0
     return 0

@@ -27,7 +27,7 @@ Run with::
 
 from __future__ import annotations
 
-import time
+from repro.utils.timer import clock
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -46,7 +46,8 @@ def run_dynamic(k: int = 5, eps: float = 0.3, max_samples: int = 48,
                 rounds: int = 4, method: str = "exact",
                 batch: int = 1, node_churn: float = 0.0,
                 verbose: bool = True, quick: bool = False,
-                output_json: Optional[str] = None) -> List[Dict[str, object]]:
+                output_json: Optional[str] = None,
+                metrics_prefix: Optional[str] = None) -> List[Dict[str, object]]:
     """Execute the update/query workload study; returns one row per ratio.
 
     Parameters
@@ -63,12 +64,23 @@ def run_dynamic(k: int = 5, eps: float = 0.3, max_samples: int = 48,
         Woodbury update.
     node_churn:
         Fraction of events that add/remove a node instead of an edge.
+    metrics_prefix:
+        When given, the run records onto :data:`repro.obs.REGISTRY` and the
+        registry is written as ``<prefix>.prom``/``<prefix>.json`` at the
+        end; engine-op latency percentiles are attached to every row.
     """
+    from repro import obs
+
     n = 160 if quick else (240 if scale == "small" else 600)
     rounds = 2 if quick else rounds
     batch = max(1, int(batch))
     config = SamplingConfig(eps=eps, max_samples=max_samples,
                             min_samples=min(8, max_samples))
+
+    own_registry = metrics_prefix is not None and not obs.REGISTRY.enabled
+    if own_registry:
+        obs.REGISTRY.reset()
+        obs.REGISTRY.enable()
 
     rows: List[Dict[str, object]] = []
     for updates, queries in ratios:
@@ -80,7 +92,7 @@ def run_dynamic(k: int = 5, eps: float = 0.3, max_samples: int = 48,
         rng = np.random.default_rng(seed)
         graph = DynamicGraph(base)
         engine = DynamicCFCM(graph, seed=seed, config=config)
-        start = time.perf_counter()
+        start = clock()
         group = engine.query(k, method=method, eps=eps).group
         for _ in range(rounds):
             for _ in range(updates):
@@ -91,14 +103,14 @@ def run_dynamic(k: int = 5, eps: float = 0.3, max_samples: int = 48,
                     engine.evaluate_exact(group)
             for _ in range(queries):
                 group = engine.query(k, method=method, eps=eps).group
-        engine_seconds = time.perf_counter() - start
+        engine_seconds = clock() - start
 
         # Scratch pass: identical update stream (same rng seed), but the
         # monitoring evaluations re-invert the grounded Laplacian and every
         # query re-runs the batch algorithm on the current snapshot.
         rng = np.random.default_rng(seed)
         graph = DynamicGraph(base)
-        start = time.perf_counter()
+        start = clock()
         mapping = graph.snapshot_mapping()
         group = [int(mapping[v]) for v in
                  maximize_cfcc(graph.snapshot(), k, method=method, eps=eps,
@@ -115,7 +127,7 @@ def run_dynamic(k: int = 5, eps: float = 0.3, max_samples: int = 48,
                 group = [int(mapping[v]) for v in
                          maximize_cfcc(graph.snapshot(), k, method=method,
                                        eps=eps, seed=seed, config=config).group]
-        scratch_seconds = time.perf_counter() - start
+        scratch_seconds = clock() - start
 
         stats = engine.stats
         rows.append({
@@ -137,10 +149,24 @@ def run_dynamic(k: int = 5, eps: float = 0.3, max_samples: int = 48,
             "ess_topups": stats.ess_topups,
             "pools_flushed": stats.pools_flushed,
         })
+        if metrics_prefix is not None:
+            op_seconds = obs.REGISTRY.get("repro_engine_op_seconds")
+            if op_seconds is not None:
+                rows[-1]["engine_op_latency"] = {
+                    "p50_ms": op_seconds.percentile(50) * 1e3,
+                    "p95_ms": op_seconds.percentile(95) * 1e3,
+                    "p99_ms": op_seconds.percentile(99) * 1e3,
+                }
         if verbose:
             print(f"[dynamic] ratio {updates}:{queries} finished "
                   f"(engine {engine_seconds:.3f}s, scratch {scratch_seconds:.3f}s)")
 
+    if metrics_prefix is not None:
+        from repro.experiments.report import write_obs_artifacts
+
+        write_obs_artifacts(metrics_prefix, label="dynamic")
+        if own_registry:
+            obs.REGISTRY.disable()
     if verbose:
         print()
         print(render_dynamic(rows, n=n, k=k, method=method))

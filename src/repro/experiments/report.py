@@ -8,6 +8,8 @@ import time
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence
 
+import numpy as np
+
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
                  float_format: str = "{:.3f}") -> str:
@@ -72,3 +74,52 @@ def write_bench_artifact(rows: object, path: str, benchmark: str) -> None:
     Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True, default=str),
                           encoding="utf-8")
     print(f"[{benchmark}] wrote {path}")
+
+
+def percentiles_ms(latencies: Sequence[float],
+                   percentiles: Sequence[float] = (50, 95, 99)) -> Dict[str, float]:
+    """Millisecond percentile fields for a list of second-valued latencies.
+
+    The shared shape of the per-row latency summaries in the ``BENCH_*.json``
+    artifacts (``{"p50_ms": ..., "p95_ms": ..., "p99_ms": ...}``); empty input
+    yields zeros so smoke rows stay schema-stable.
+    """
+    keys = [f"p{int(q) if float(q).is_integer() else q}_ms" for q in percentiles]
+    values = list(latencies)
+    if not values:
+        return {key: 0.0 for key in keys}
+    data = np.asarray(values, dtype=np.float64) * 1e3
+    return {key: float(np.percentile(data, q))
+            for key, q in zip(keys, percentiles)}
+
+
+def metrics_prefix_for(bench_path: str) -> str:
+    """Derive the metrics-artifact prefix paired with a ``BENCH_*.json`` path.
+
+    ``BENCH_async.json`` maps to ``METRICS_async`` in the same directory, so
+    the CI upload globs pair every benchmark artifact with the registry
+    snapshot recorded during its run.
+    """
+    path = Path(bench_path)
+    stem = path.stem
+    if stem.startswith("BENCH_"):
+        stem = stem[len("BENCH_"):]
+    return str(path.with_name(f"METRICS_{stem}"))
+
+
+def write_obs_artifacts(prefix: str, label: str = "obs") -> None:
+    """Write the default registry as ``<prefix>.prom`` and ``<prefix>.json``.
+
+    The Prometheus text exposition and the ``snapshot()`` dict of
+    :data:`repro.obs.REGISTRY`, side by side — CI uploads these next to the
+    ``BENCH_*.json`` artifacts so the perf trajectory carries full metric
+    distributions, not just the row summaries.
+    """
+    from repro import obs
+
+    Path(f"{prefix}.prom").write_text(obs.render_prometheus(), encoding="utf-8")
+    Path(f"{prefix}.json").write_text(
+        json.dumps(obs.snapshot(), indent=2, sort_keys=True, default=str),
+        encoding="utf-8",
+    )
+    print(f"[{label}] wrote {prefix}.prom and {prefix}.json")

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-import time
+from repro.utils.timer import clock
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
@@ -56,14 +56,14 @@ def run_method(graph: Graph, k: int, spec: RunSpec, seed: int = 0
     config = None
     if spec.method in ("forest", "schur"):
         config = sampling_config(spec.eps, spec.max_samples)
-    start = time.perf_counter()
+    start = clock()
     try:
         result = maximize_cfcc(graph, k, method=spec.method, eps=spec.eps,
                                seed=seed, config=config)
     except InvalidParameterError:
         # e.g. brute-force optimum beyond its candidate cap.
         return None
-    result.runtime_seconds = time.perf_counter() - start
+    result.runtime_seconds = clock() - start
     return result
 
 

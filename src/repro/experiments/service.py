@@ -22,14 +22,15 @@ Run with::
 from __future__ import annotations
 
 import asyncio
-import time
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.dynamic import DynamicCFCM, TrafficReport, poisson_traffic, replay_events
 from repro.experiments.report import format_table, save_json
 from repro.graph import generators
 from repro.graph.graph import Graph
 from repro.service import AsyncCFCMService
+from repro.utils.timer import clock
 
 
 async def _drive(
@@ -46,7 +47,7 @@ async def _drive(
     """Replay one Poisson traffic stream; returns the raw measurements."""
     monitor = tuple(range(min(3, base.n - 1)))
     async with AsyncCFCMService(base, seed=seed, workers=workers) as service:
-        started = time.perf_counter()
+        started = clock()
         report = await poisson_traffic(
             service,
             ops,
@@ -59,8 +60,14 @@ async def _drive(
             eps=eps,
             monitor_group=monitor,
         )
-        wall = time.perf_counter() - started
+        wall = clock() - started
         final = await service.evaluate(monitor, mode="exact")
+        if service.graph.is_unit_weighted:
+            # Exercise the forest path once so the trace/metrics of a smoke
+            # run cover the full pipeline (top-up → lockstep → fold), not
+            # just the exact Woodbury path the monitoring traffic uses.
+            await service.prefetch_forests(monitor)
+            await service.evaluate(monitor, mode="forest")
         service_stats = service.stats.as_dict()
         engine_stats = service.engine.stats.as_dict()
     return (
@@ -122,22 +129,55 @@ def run_service(
     quick: bool = False,
     verbose: bool = True,
     output_json: Optional[str] = None,
+    metrics_prefix: Optional[str] = None,
+    trace_output: Optional[str] = None,
 ) -> Dict[str, object]:
     """Execute the service study; returns one row (with a ``failures`` list).
 
     ``smoke`` shrinks the workload and enables the equivalence gate: any
     mismatch against the fresh synchronous engine lands in ``failures`` and
-    the CLI exits non-zero.
+    the CLI exits non-zero.  The run records into :mod:`repro.obs`: latency
+    percentiles and the coalescing batch-size histogram are read back from
+    the registry, ``metrics_prefix`` writes ``<prefix>.prom``/``<prefix>.json``
+    exposition artifacts, and ``trace_output`` streams the span trace as
+    JSON-lines.
     """
     if quick or smoke:
         n = min(n, 140)
         ops = min(ops, 80)
         k = min(k, 3)
     base = generators.barabasi_albert(n, 3, seed=seed)
-    measured = asyncio.run(
-        _drive(base, ops, rate, query_fraction, k, eps, node_churn, workers, seed)
-    )
-    report, final_value, final_version, wall, service_stats, engine_stats, monitor = measured
+
+    # Observe the run on the default registry + a fresh tracer; restore the
+    # previous observability state afterwards so callers (tests, notebooks)
+    # are not left with recording switched on.
+    own_registry = not obs.REGISTRY.enabled
+    if own_registry:
+        obs.REGISTRY.reset()
+        obs.REGISTRY.enable()
+    tracer = obs.enable_tracing(jsonl_path=trace_output)
+    try:
+        measured = asyncio.run(
+            _drive(base, ops, rate, query_fraction, k, eps, node_churn, workers, seed)
+        )
+        report, final_value, final_version, wall, service_stats, engine_stats, monitor = measured
+
+        # Registered at service-module import, so get() cannot miss here.
+        request_seconds = obs.REGISTRY.get("repro_service_request_seconds")
+        batch_sizes = obs.REGISTRY.get("repro_service_update_batch_size")
+        query_lat = {
+            q: request_seconds.percentile(q, kind="query") for q in (50.0, 95.0, 99.0)
+        }
+        update_lat = report.latency_percentiles("update")
+        if metrics_prefix:
+            from repro.experiments.report import write_obs_artifacts
+
+            write_obs_artifacts(metrics_prefix, label="serve")
+        span_names = [span["name"] for span in tracer.spans()]
+    finally:
+        obs.disable_tracing()
+        if own_registry:
+            obs.REGISTRY.disable()
 
     failures: List[str] = []
     if smoke:
@@ -145,8 +185,6 @@ def run_service(
 
     answered = report.queries + report.evaluations
     completed = answered + report.updates_applied + report.updates_failed
-    query_lat = report.latency_percentiles("query")
-    update_lat = report.latency_percentiles("update")
     row: Dict[str, object] = {
         "n": n,
         "ops": ops,
@@ -161,14 +199,16 @@ def run_service(
         "updates_applied": report.updates_applied,
         "updates_failed": report.updates_failed,
         "updates_rejected": report.updates_rejected,
-        "query_p50_ms": query_lat["p50"] * 1e3,
-        "query_p95_ms": query_lat["p95"] * 1e3,
-        "query_p99_ms": query_lat["p99"] * 1e3,
+        "query_p50_ms": query_lat[50.0] * 1e3,
+        "query_p95_ms": query_lat[95.0] * 1e3,
+        "query_p99_ms": query_lat[99.0] * 1e3,
         "update_p95_ms": update_lat["p95"] * 1e3,
+        "batch_size_histogram": batch_sizes.summary(),
         "final_version": final_version,
         "mean_batch_size": service_stats["mean_batch_size"],
         "engine_batched_events": engine_stats["batched_events"],
         "engine_hit_rate": engine_stats["hit_rate"],
+        "trace_spans": len(span_names),
         "failures": failures,
     }
     if verbose:

@@ -1,0 +1,93 @@
+"""Unified observability layer: metrics, span tracing and health exposition.
+
+Three small, dependency-free pieces:
+
+* :mod:`repro.obs.metrics` — a process-local :class:`MetricsRegistry` of
+  counters, gauges and fixed-bucket histograms (p50/p95/p99), with a
+  ``snapshot()`` dict API and a Prometheus text renderer.  The module-level
+  :data:`REGISTRY` is the default instance every instrumented module writes
+  to; it starts disabled, so the hot path pays one attribute check until
+  :func:`enable` is called.
+* :mod:`repro.obs.tracing` — ``with trace("stage"):`` nested timed spans
+  over a thread-local stack, collected into a ring buffer and an optional
+  JSON-lines file once :func:`enable_tracing` installs a tracer.
+* :mod:`repro.obs.health` — ``bind_engine_health`` / ``bind_service_health``
+  collectors that publish :class:`EngineStats`, :class:`ServiceStats`, pool
+  ESS health and queue depths onto registry gauges at exposition time.
+
+Typical opt-in::
+
+    from repro import obs
+
+    obs.enable()                       # metrics on
+    tracer = obs.enable_tracing(jsonl_path="trace.jsonl")
+    ... run traffic ...
+    print(obs.render_prometheus())     # exposition text
+    snapshot = obs.snapshot()          # plain-dict API
+"""
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    REGISTRY,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+from repro.obs.tracing import (
+    NOOP_SPAN,
+    Span,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    trace,
+)
+from repro.obs.health import bind_engine_health, bind_service_health
+
+
+def enable() -> MetricsRegistry:
+    """Enable hot-path recording on the default registry."""
+    return REGISTRY.enable()
+
+
+def disable() -> MetricsRegistry:
+    """Disable hot-path recording on the default registry."""
+    return REGISTRY.disable()
+
+
+def snapshot(percentiles=(50.0, 95.0, 99.0)):
+    """Snapshot of the default registry (runs collectors first)."""
+    return REGISTRY.snapshot(percentiles)
+
+
+def render_prometheus() -> str:
+    """The default registry in the Prometheus text exposition format."""
+    return REGISTRY.render_prometheus()
+
+
+__all__ = [
+    "LATENCY_BUCKETS",
+    "REGISTRY",
+    "SIZE_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "Span",
+    "Tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "get_tracer",
+    "trace",
+    "bind_engine_health",
+    "bind_service_health",
+    "enable",
+    "disable",
+    "snapshot",
+    "render_prometheus",
+]

@@ -1,0 +1,130 @@
+"""Health exposition: publish engine/service/pool state onto registry gauges.
+
+The engine and service already keep operational counters
+(:class:`repro.dynamic.EngineStats`, :class:`repro.service.ServiceStats`,
+:meth:`repro.dynamic.DynamicCFCM.pool_health`); this module bridges them
+onto the metrics registry as *collectors* — callbacks the registry runs at
+exposition time (:meth:`~repro.obs.metrics.MetricsRegistry.snapshot` /
+:meth:`~repro.obs.metrics.MetricsRegistry.render_prometheus`) — so gauge
+families always reflect live state without the hot path writing gauges.
+
+Both binders hold their component through a weak reference: a collector
+whose component was garbage-collected unregisters itself on its next run,
+so binding never extends a component's lifetime.  The service binds itself
+on :meth:`~repro.service.AsyncCFCMService.start` and unbinds on ``stop``.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Callable, Optional
+
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+
+# EngineStats scalar fields published as repro_engine_<field> gauges.
+_ENGINE_FIELDS = (
+    "query_hits", "query_misses", "eval_hits", "eval_misses",
+    "forests_kept", "forests_resampled", "forests_reweighted",
+    "forests_dropped", "forests_folded", "pools_flushed", "pools_evicted",
+    "ess_topups", "batch_updates", "batched_events", "node_evictions",
+)
+
+# ServiceStats fields published as repro_service_<field> gauges.
+_SERVICE_FIELDS = (
+    "updates_submitted", "updates_applied", "updates_failed",
+    "updates_rejected", "update_batches", "coalesced_updates",
+    "queries", "evaluations", "cancelled",
+)
+
+
+def bind_engine_health(engine, registry: Optional[MetricsRegistry] = None,
+                       prefix: str = "repro_engine") -> Callable[[], None]:
+    """Publish a :class:`~repro.dynamic.DynamicCFCM`'s health as gauges.
+
+    Registers a collector exposing every :class:`EngineStats` counter as
+    ``<prefix>_<field>``, the cache hit rate, the pending-event backlog, and
+    per-pool ``repro_pool_{ess,ess_floor,size,capacity,stale_fraction}``
+    gauges labelled by the pool's root-set key.  Returns the unbind callable.
+    """
+    registry = registry if registry is not None else REGISTRY
+    ref = weakref.ref(engine)
+    unregister_box = []
+
+    gauges = {
+        field: registry.gauge(f"{prefix}_{field}",
+                              f"EngineStats.{field} of the dynamic engine")
+        for field in _ENGINE_FIELDS
+    }
+    hit_rate = registry.gauge(f"{prefix}_query_hit_rate",
+                              "Fraction of query() calls answered from cache")
+    pending = registry.gauge(f"{prefix}_pending_events",
+                             "Journal events not yet folded into the caches")
+    pool_gauges = {
+        field: registry.gauge(f"repro_pool_{field}",
+                              f"Per-root-set forest pool {field}",
+                              labels=("pool",))
+        for field in ("ess", "ess_floor", "size", "capacity", "stale_fraction")
+    }
+
+    def collect(_registry: MetricsRegistry) -> None:
+        live = ref()
+        if live is None:
+            unregister_box[0]()
+            return
+        stats = live.stats
+        for field, gauge in gauges.items():
+            gauge.set(float(getattr(stats, field)))
+        hit_rate.set(stats.hit_rate())
+        pending.set(float(live.pending_events))
+        # Re-publish the pool family from scratch so series for pools that
+        # were flushed or LRU-evicted disappear instead of going stale.
+        for gauge in pool_gauges.values():
+            gauge.clear()
+        for pool_key, health in live.pool_health().items():
+            for field, gauge in pool_gauges.items():
+                if field in health:
+                    gauge.set(float(health[field]), pool=pool_key)
+
+    unregister_box.append(registry.register_collector(collect))
+    return unregister_box[0]
+
+
+def bind_service_health(service, registry: Optional[MetricsRegistry] = None,
+                        prefix: str = "repro_service") -> Callable[[], None]:
+    """Publish an :class:`~repro.service.AsyncCFCMService`'s health as gauges.
+
+    Exposes every :class:`ServiceStats` counter as ``<prefix>_<field>`` plus
+    the mean coalesced batch size, the update queue depth, and the last
+    journal version the writer published.  Returns the unbind callable.
+    """
+    registry = registry if registry is not None else REGISTRY
+    ref = weakref.ref(service)
+    unregister_box = []
+
+    gauges = {
+        field: registry.gauge(f"{prefix}_{field}",
+                              f"ServiceStats.{field} of the async service")
+        for field in _SERVICE_FIELDS
+    }
+    mean_batch = registry.gauge(f"{prefix}_mean_batch_size",
+                                "Mean updates coalesced per writer batch")
+    queue_depth = registry.gauge(f"{prefix}_queue_depth",
+                                 "Updates enqueued but not yet applied")
+    applied = registry.gauge(f"{prefix}_applied_version",
+                             "Last journal version the writer published")
+
+    def collect(_registry: MetricsRegistry) -> None:
+        live = ref()
+        if live is None:
+            unregister_box[0]()
+            return
+        stats = live.stats
+        for field, gauge in gauges.items():
+            gauge.set(float(getattr(stats, field)))
+        batches = stats.update_batches
+        mean_batch.set(stats.coalesced_updates / batches if batches else 0.0)
+        queue_depth.set(float(live.pending_updates))
+        applied.set(float(live.version))
+
+    unregister_box.append(registry.register_collector(collect))
+    return unregister_box[0]

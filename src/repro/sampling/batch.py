@@ -62,9 +62,21 @@ import numpy as np
 
 from repro.exceptions import DisconnectedGraphError, GraphError, InvalidParameterError
 from repro.graph.graph import Graph
+from repro.obs.metrics import REGISTRY, SIZE_BUCKETS
+from repro.obs.tracing import trace
 from repro.sampling.forest import Forest
 from repro.utils.rng import RandomState, as_rng
 from repro.utils.validation import check_group
+
+_LOCKSTEP_CHUNKS = REGISTRY.counter(
+    "repro_sampling_lockstep_chunks_total",
+    "Lockstep cycle-popping chunks drawn by the vectorised sampler",
+)
+_LOCKSTEP_FORESTS = REGISTRY.histogram(
+    "repro_sampling_lockstep_forests",
+    "Forests drawn per vectorised batch request",
+    buckets=SIZE_BUCKETS,
+)
 
 # The lockstep sampler keeps O(B * n) state (arrow field + working set) and
 # indexes it with int32; batches whose state would exceed this many entries
@@ -390,29 +402,36 @@ def sample_forest_batch_vectorized(graph: Graph, roots, count: int,
     if count == 0:
         return ForestBatch(parent=np.empty((0, n), dtype=np.int64), roots=root_arr)
 
-    if (n > LOCKSTEP_STATE_LIMIT
-            or 2 * graph.m > np.iinfo(np.int32).max
-            or (graph.degrees.size and int(graph.degrees.max()) > (1 << 24))):
-        # The kernel's int32 pair/CSR indexing would overflow (huge n or
-        # adjacency), or a hub's degree exceeds the float32 mantissa so the
-        # cheap arrow draw could not reach all its neighbours; this regime
-        # belongs to the scalar (optionally process-pooled) path.
-        from repro.sampling.wilson import sample_rooted_forest
+    _LOCKSTEP_FORESTS.observe(count)
+    with trace("sampling.lockstep", forests=count, n=n) as span:
+        if (n > LOCKSTEP_STATE_LIMIT
+                or 2 * graph.m > np.iinfo(np.int32).max
+                or (graph.degrees.size and int(graph.degrees.max()) > (1 << 24))):
+            # The kernel's int32 pair/CSR indexing would overflow (huge n or
+            # adjacency), or a hub's degree exceeds the float32 mantissa so
+            # the cheap arrow draw could not reach all its neighbours; this
+            # regime belongs to the scalar (optionally process-pooled) path.
+            from repro.sampling.wilson import sample_rooted_forest
 
-        rows = [sample_rooted_forest(graph, roots, seed=rng).parent
-                for _ in range(count)]
-        return ForestBatch(parent=np.vstack(rows), roots=root_arr)
-    chunk = max(1, LOCKSTEP_STATE_LIMIT // max(n, 1))
-    if count > chunk:
-        pieces = []
-        remaining = count
-        while remaining > 0:
-            take = min(remaining, chunk)
-            pieces.append(_sample_chunk(graph, root_arr, take, rng))
-            remaining -= take
-        return ForestBatch(parent=np.vstack(pieces), roots=root_arr)
-    return ForestBatch(parent=_sample_chunk(graph, root_arr, count, rng),
-                       roots=root_arr)
+            span.set(path="scalar")
+            rows = [sample_rooted_forest(graph, roots, seed=rng).parent
+                    for _ in range(count)]
+            return ForestBatch(parent=np.vstack(rows), roots=root_arr)
+        chunk = max(1, LOCKSTEP_STATE_LIMIT // max(n, 1))
+        if count > chunk:
+            pieces = []
+            remaining = count
+            while remaining > 0:
+                take = min(remaining, chunk)
+                pieces.append(_sample_chunk(graph, root_arr, take, rng))
+                _LOCKSTEP_CHUNKS.inc()
+                remaining -= take
+            span.set(chunks=len(pieces))
+            return ForestBatch(parent=np.vstack(pieces), roots=root_arr)
+        parent = _sample_chunk(graph, root_arr, count, rng)
+        _LOCKSTEP_CHUNKS.inc()
+        span.set(chunks=1)
+        return ForestBatch(parent=parent, roots=root_arr)
 
 
 def _sample_chunk(graph: Graph, root_arr: np.ndarray, batch: int,

@@ -18,11 +18,11 @@ again).  The types here carry information across those boundaries:
 from __future__ import annotations
 
 import asyncio
-import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.dynamic.graph import DynamicGraph, GraphUpdate
+from repro.utils.timer import clock
 
 # A mutation is any callable applied to the graph by the writer; the journal
 # events it produces are collected by diffing the journal, so its return
@@ -62,7 +62,7 @@ class UpdateTicket:
 
     @property
     def settled_at(self) -> Optional[float]:
-        """``time.perf_counter()`` timestamp of settlement (``None`` pending).
+        """Monotonic-clock timestamp of settlement (``None`` pending).
 
         Stamped in the writer thread the moment the mutation was applied or
         rejected, so submit-to-apply latency can be measured even when the
@@ -94,11 +94,11 @@ class UpdateTicket:
 
     # -- writer side (called from the worker thread) -------------------------
     def _resolve(self, events: Tuple[GraphUpdate, ...], version: int) -> None:
-        self._settled_at = time.perf_counter()
+        self._settled_at = clock()
         self._loop.call_soon_threadsafe(self._settle, events, None, version)
 
     def _reject(self, exc: BaseException, version: Optional[int] = None) -> None:
-        self._settled_at = time.perf_counter()
+        self._settled_at = clock()
         self._loop.call_soon_threadsafe(self._settle, None, exc, version)
 
     def _settle(

@@ -47,12 +47,32 @@ from repro.exceptions import (
     ServiceOverloadedError,
 )
 from repro.graph.graph import Graph
+from repro.obs.health import bind_engine_health, bind_service_health
+from repro.obs.metrics import REGISTRY, SIZE_BUCKETS
+from repro.obs.tracing import trace
 from repro.service.messages import Mutation, ServiceResponse, UpdateRequest, UpdateTicket
 from repro.service.workers import WorkerPool
 from repro.utils.rng import RandomState
+from repro.utils.timer import clock
 from repro.utils.validation import check_integer
 
 _STOP = object()
+
+# Hot-path metrics (no-ops until the default registry is enabled).
+_BATCH_SIZE = REGISTRY.histogram(
+    "repro_service_update_batch_size",
+    "Updates coalesced per writer batch",
+    buckets=SIZE_BUCKETS,
+)
+_APPLY_SECONDS = REGISTRY.histogram(
+    "repro_service_apply_seconds",
+    "Wall time of one coalesced writer batch apply",
+)
+_REQUEST_SECONDS = REGISTRY.histogram(
+    "repro_service_request_seconds",
+    "End-to-end service request latency (barrier plus compute)",
+    labels=("kind",),
+)
 
 CONSISTENCY_MODES = ("fresh", "relaxed")
 
@@ -139,6 +159,7 @@ class AsyncCFCMService:
         self._applied_version = self.graph.version
         self._version_cond = asyncio.Condition()
         self._last_ticket: Optional[UpdateTicket] = None
+        self._health_unbinders: list = []
 
     # ------------------------------------------------------------- lifecycle
     async def start(self) -> "AsyncCFCMService":
@@ -149,6 +170,12 @@ class AsyncCFCMService:
             raise ServiceError("service already started")
         self._loop = asyncio.get_running_loop()
         self._writer = asyncio.create_task(self._writer_loop(), name="cfcm-writer")
+        # Publish engine/service health onto the default registry's gauges
+        # for the service's lifetime (collectors run at exposition time).
+        self._health_unbinders = [
+            bind_engine_health(self.engine),
+            bind_service_health(self),
+        ]
         return self
 
     async def stop(self, drain: bool = True) -> None:
@@ -178,6 +205,14 @@ class AsyncCFCMService:
             await self._writer
             self._writer = None
         await self._pool.close()
+        if self._health_unbinders and REGISTRY.enabled:
+            # Health gauges are only written at exposition time; publish a
+            # final reading before unbinding so post-shutdown snapshots and
+            # Prometheus renders still carry engine/service/pool health.
+            REGISTRY.collect()
+        for unbind in self._health_unbinders:
+            unbind()
+        self._health_unbinders = []
 
     async def __aenter__(self) -> "AsyncCFCMService":
         return await self.start()
@@ -250,11 +285,15 @@ class AsyncCFCMService:
         engine reaches when the worker picks the query up.
         """
         self._require_running()
+        started = clock()
         try:
             await self._consistency_barrier(consistency)
 
             def work() -> Tuple[object, int, Dict[str, object]]:
-                with self._state_lock:
+                # Spans live inside the worker closure: the thread-local span
+                # stack nests correctly on a worker thread, never across
+                # awaits on the event loop.
+                with self._state_lock, trace("service.query", k=k):
                     result = self.engine.query(k, method=method, eps=eps, evaluate=evaluate)
                     return result, self.graph.version, self.engine.stats.as_dict()
 
@@ -263,6 +302,7 @@ class AsyncCFCMService:
             self.stats.cancelled += 1
             raise
         self.stats.queries += 1
+        _REQUEST_SECONDS.observe(clock() - started, kind="query")
         return ServiceResponse(result=result, version=version, stats=stats)
 
     async def evaluate(
@@ -273,11 +313,12 @@ class AsyncCFCMService:
     ) -> ServiceResponse:
         """Group CFCC of ``group``; ``mode`` is ``"exact"`` or ``"forest"``."""
         self._require_running()
+        started = clock()
         try:
             await self._consistency_barrier(consistency)
 
             def work() -> Tuple[float, int, Dict[str, object]]:
-                with self._state_lock:
+                with self._state_lock, trace("service.evaluate", mode=mode):
                     value = self.engine.evaluate(group, mode=mode)
                     return value, self.graph.version, self.engine.stats.as_dict()
 
@@ -286,6 +327,7 @@ class AsyncCFCMService:
             self.stats.cancelled += 1
             raise
         self.stats.evaluations += 1
+        _REQUEST_SECONDS.observe(clock() - started, kind="evaluate")
         return ServiceResponse(result=value, version=version, stats=stats)
 
     async def refresh(self) -> int:
@@ -399,7 +441,8 @@ class AsyncCFCMService:
         burst lands in the journal as one contiguous suffix — the next
         evaluation folds it in as a single rank-``t`` Woodbury batch.
         """
-        with self._state_lock:
+        started = clock()
+        with self._state_lock, trace("service.apply_batch", batch=len(batch)):
             for request in batch:
                 before = self.graph.version
                 try:
@@ -411,4 +454,6 @@ class AsyncCFCMService:
                     events: Tuple[GraphUpdate, ...] = tuple(self.graph.journal_since(before))
                     self.stats.updates_applied += 1
                     request.ticket._resolve(events, self.graph.version)
-            return self.graph.version
+        _BATCH_SIZE.observe(len(batch))
+        _APPLY_SECONDS.observe(clock() - started)
+        return self.graph.version

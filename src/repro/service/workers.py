@@ -29,6 +29,7 @@ from typing import Any, Callable, List, Sequence, Union
 
 from repro.exceptions import ServiceClosedError
 from repro.graph.graph import Graph
+from repro.obs.tracing import trace
 from repro.sampling.batch import (
     LOCKSTEP_STATE_LIMIT,
     ForestBatch,
@@ -110,11 +111,14 @@ class WorkerPool:
         batch is identical however many processes draw it) and return a
         plain forest list.
         """
-        if self.process_workers > 0 and count * graph.n > LOCKSTEP_STATE_LIMIT:
-            return sample_forest_batch(graph, roots, count, seed=seed,
-                                       workers=self.process_workers,
-                                       method="scalar")
-        return sample_forest_batch_vectorized(graph, roots, count, seed=seed)
+        with trace("worker.sample_forests", count=count) as span:
+            if self.process_workers > 0 and count * graph.n > LOCKSTEP_STATE_LIMIT:
+                span.set(path="process")
+                return sample_forest_batch(graph, roots, count, seed=seed,
+                                           workers=self.process_workers,
+                                           method="scalar")
+            span.set(path="lockstep")
+            return sample_forest_batch_vectorized(graph, roots, count, seed=seed)
 
     async def close(self) -> None:
         """Reject new work and wait for in-flight work to finish."""

@@ -1,11 +1,29 @@
-"""Small timing helpers used by the experiment harness."""
+"""Small timing helpers used by the experiment harness.
+
+:class:`Timer` is now a thin shim over :class:`repro.obs.metrics.Histogram`:
+each label is backed by a standalone latency histogram (always enabled —
+registry-independent), which is where :meth:`Timer.percentile` and
+:meth:`Timer.merge` come from.  The raw per-measurement ``records`` lists
+are kept for exact totals and backward compatibility.
+
+``clock`` re-exports ``time.perf_counter`` as the repo's sanctioned
+monotonic clock: instrumented modules import it from here so
+``scripts/check_no_adhoc_timing.py`` can forbid raw ``perf_counter`` use
+everywhere else in ``src/repro``.
+"""
 
 from __future__ import annotations
 
 import time
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List
+
+from repro.obs.metrics import LATENCY_BUCKETS, Histogram
+
+#: The repo's sanctioned monotonic clock (see module docstring).
+clock = time.perf_counter
 
 
 @dataclass
@@ -22,15 +40,28 @@ class Timer:
     """
 
     records: Dict[str, List[float]] = field(default_factory=dict)
+    _histograms: Dict[str, Histogram] = field(default_factory=dict, repr=False)
+
+    def _histogram(self, label: str) -> Histogram:
+        histogram = self._histograms.get(label)
+        if histogram is None:
+            histogram = self._histograms[label] = Histogram(
+                f"timer_{label}", buckets=LATENCY_BUCKETS
+            )
+        return histogram
+
+    def record(self, label: str, elapsed: float) -> None:
+        """Record one measurement of ``elapsed`` seconds under ``label``."""
+        self.records.setdefault(label, []).append(elapsed)
+        self._histogram(label).observe(elapsed)
 
     @contextmanager
     def measure(self, label: str) -> Iterator[None]:
-        start = time.perf_counter()
+        start = clock()
         try:
             yield
         finally:
-            elapsed = time.perf_counter() - start
-            self.records.setdefault(label, []).append(elapsed)
+            self.record(label, clock() - start)
 
     def total(self, label: str) -> float:
         """Total seconds recorded under ``label`` (0.0 when never measured)."""
@@ -39,6 +70,25 @@ class Timer:
     def count(self, label: str) -> int:
         """Number of measurements recorded under ``label``."""
         return len(self.records.get(label, ()))
+
+    def percentile(self, label: str, q: float) -> float:
+        """Interpolated ``q``-th percentile of ``label``'s measurements.
+
+        Bucket-interpolated (clamped to the observed min/max) via the
+        backing histogram; 0.0 when the label was never measured.
+        """
+        histogram = self._histograms.get(label)
+        return histogram.percentile(q) if histogram is not None else 0.0
+
+    def merge(self, other: "Timer") -> "Timer":
+        """Fold another timer's measurements into this one (per label).
+
+        Combines per-worker timers into one distribution; returns ``self``.
+        """
+        for label, values in other.records.items():
+            self.records.setdefault(label, []).extend(values)
+            self._histogram(label).merge(other._histogram(label))
+        return self
 
     def summary(self) -> Dict[str, float]:
         """Mapping of label to total elapsed seconds."""
@@ -49,14 +99,25 @@ class Timer:
 def timed() -> Iterator[List[float]]:
     """Context manager yielding a one-element list filled with elapsed seconds.
 
-    >>> with timed() as elapsed:
-    ...     _ = sum(range(100))
+    .. deprecated::
+        Use :meth:`Timer.measure`, or a registry histogram via
+        :mod:`repro.obs` — ``timed()`` will be removed.
+
+    >>> import warnings
+    >>> with warnings.catch_warnings():
+    ...     warnings.simplefilter("ignore", DeprecationWarning)
+    ...     with timed() as elapsed:
+    ...         _ = sum(range(100))
     >>> elapsed[0] >= 0.0
     True
     """
+    warnings.warn(
+        "timed() is deprecated: use Timer.measure() or a repro.obs histogram",
+        DeprecationWarning, stacklevel=3,
+    )
     box: List[float] = [0.0]
-    start = time.perf_counter()
+    start = clock()
     try:
         yield box
     finally:
-        box[0] = time.perf_counter() - start
+        box[0] = clock() - start
