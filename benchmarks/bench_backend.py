@@ -1,0 +1,269 @@
+"""Resistance-backend benchmarks — sparse solver-backed vs dense Woodbury.
+
+Both backends replay the *same* recorded edge-update journal through
+:class:`repro.dynamic.IncrementalResistance` and answer the same per-burst
+``group_cfcc`` monitoring query; only the engine underneath differs:
+
+* **dense** — the explicit ``inv(L_{-S})`` with rank-``t`` Woodbury folds
+  (O(n²) per sync, O(n²) memory);
+* **sparse** — a sparse grounded factorisation with low-rank corrections and
+  JL-sketched Hutchinson diagonals (Õ(m) per sync, O(m + nt) memory).
+
+Three correctness gates keep the timings honest:
+
+1. the dense replay must stay **bit-identical** to a hand-rolled replay of
+   the pre-backend update functions (``grounded_inverse_edge_update`` /
+   ``grounded_inverse_block_update``) — the refactor is not allowed to move
+   a single ULP on the incumbent path;
+2. the dense final trace must match a fresh ``grounded_trace`` to 1e-8;
+3. the sparse (sketched) final trace must agree with the exact inverse to
+   ``--tolerance`` relative error.
+
+The ``--smoke`` run additionally gates on the sparse backend being at least
+1.5x faster than dense on the sync+evaluate path, which is what CI checks::
+
+    PYTHONPATH=src python benchmarks/bench_backend.py --smoke
+    PYTHONPATH=src python benchmarks/bench_backend.py --n 3000 --t 32
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.centrality.cfcc import grounded_trace
+from repro.dynamic import (
+    DynamicGraph,
+    GraphUpdate,
+    IncrementalResistance,
+    apply_event,
+    random_update_journal,
+)
+from repro.experiments.report import (
+    metrics_prefix_for,
+    percentiles_ms,
+    write_bench_artifact,
+    write_obs_artifacts,
+)
+from repro.graph import generators
+from repro.linalg import (
+    grounded_inverse_block_update,
+    grounded_inverse_edge_update,
+)
+
+GROUP = (0, 1, 2)
+SMOKE_SPEEDUP = 1.5
+
+
+def _record_journal(base, bursts: int, t: int, seed: int) -> List[List[GraphUpdate]]:
+    """Generate one shared edge-update stream, recorded burst by burst."""
+    rng = np.random.default_rng(seed + 1)
+    graph = DynamicGraph(base)
+    return [random_update_journal(graph, t, rng) for _ in range(bursts)]
+
+
+def _reference_dense_replay(base, journal: Sequence[Sequence[GraphUpdate]],
+                            group: Sequence[int],
+                            refresh_interval: int) -> np.ndarray:
+    """Replay the journal with the pre-backend dense update kernels.
+
+    Mirrors the tracker's sync exactly — one rank-``t`` batch per burst
+    (single-event batches through the Sherman–Morrison path), a fresh
+    ``np.linalg.inv`` of the grounded slice whenever the staleness budget
+    overflows — so the result must be bit-identical to the dense backend's
+    inverse.  The journal is edge-only, so the kept-row mapping is fixed.
+    """
+    graph = DynamicGraph(base)
+    mapping = graph.snapshot_mapping()
+    grounded = set(int(v) for v in group)
+    keep_mask = np.array([int(x) not in grounded for x in mapping])
+    positions = np.flatnonzero(keep_mask)
+    inverse = np.linalg.inv(
+        graph.laplacian_dense()[np.ix_(positions, positions)])
+    local = {int(x): row for row, x in enumerate(mapping[keep_mask])}
+    updates = 0
+    for burst in journal:
+        triples = []
+        for event in burst:
+            apply_event(graph, event)
+            if event.u in grounded and event.v in grounded:
+                continue
+            i = local.get(event.u, -1)
+            j = local.get(event.v, -1)
+            if i < 0:
+                i, j = j, -1
+            triples.append((i, None if j < 0 else j, event.delta))
+        if not triples:
+            continue
+        if updates + len(triples) > refresh_interval:
+            inverse = np.linalg.inv(
+                graph.laplacian_dense()[np.ix_(positions, positions)])
+            updates = 0
+        elif len(triples) == 1:
+            inverse = grounded_inverse_edge_update(inverse, *triples[0])
+            updates += 1
+        else:
+            inverse = grounded_inverse_block_update(inverse, triples)
+            updates += len(triples)
+    return inverse
+
+
+def run_backend_comparison(n: int = 3000, bursts: int = 6, t: int = 32,
+                           seed: int = 0, probes: int = 24,
+                           tolerance: float = 0.1,
+                           refresh_interval: int = 64,
+                           verbose: bool = True) -> List[Dict[str, object]]:
+    """Time dense vs sparse backends on one shared monitoring workload.
+
+    ``refresh_interval`` bounds the staleness budget of *both* trackers, so
+    the replay models sustained churn: low-rank folds between refreshes, a
+    periodic refactorisation when the budget overflows — O(n³) on dense,
+    Õ(m) on sparse, which is exactly the gap this benchmark exists to show.
+    Returns one row per backend; the sparse row carries the sync+evaluate
+    speedup over dense.  Raises ``AssertionError`` when a correctness gate
+    fails (backends drifting apart is a bug, not a data point).
+    """
+    base = generators.barabasi_albert(n, 3, seed=seed)
+    group = list(GROUP)
+    journal = _record_journal(base, bursts, t, seed)
+    events_total = sum(len(burst) for burst in journal)
+
+    rows: List[Dict[str, object]] = []
+    timings: Dict[str, float] = {}
+    for backend in ("dense", "sparse"):
+        options = {"probes": probes, "seed": seed} if backend == "sparse" else None
+        graph = DynamicGraph(base)
+        tracker = IncrementalResistance(graph, group,
+                                        refresh_interval=refresh_interval,
+                                        backend=backend,
+                                        backend_options=options)
+        tracker.trace()  # factorisation warm-up outside the timed region
+        latencies: List[float] = []
+        value = 0.0
+        for burst in journal:
+            for event in burst:
+                apply_event(graph, event)
+            op_start = time.perf_counter()
+            value = tracker.group_cfcc()
+            latencies.append(time.perf_counter() - op_start)
+        seconds = float(sum(latencies))
+        timings[backend] = seconds
+
+        exact = graph.n / grounded_trace(graph.snapshot(), group)
+        rel_err = abs(value - exact) / max(1.0, abs(exact))
+        row: Dict[str, object] = {
+            "backend": backend,
+            "n": n,
+            "bursts": bursts,
+            "t": t,
+            "events": events_total,
+            "probes": probes if backend == "sparse" else None,
+            "refresh_interval": refresh_interval,
+            "sync_evaluate_seconds": seconds,
+            "burst_latency": percentiles_ms(latencies),
+            "group_cfcc": value,
+            "group_cfcc_exact": exact,
+            "relative_error": rel_err,
+            "refreshes": tracker.stats.refreshes,
+            "batched_events": tracker.stats.batched_events,
+        }
+        if backend == "dense":
+            if not rel_err <= 1e-8:
+                raise AssertionError(
+                    f"dense backend drifted from the exact inverse: "
+                    f"{value!r} vs {exact!r} (rel err {rel_err:.3e})"
+                )
+            reference = _reference_dense_replay(base, journal, group,
+                                                refresh_interval)
+            if not np.array_equal(reference, tracker.inverse):
+                worst = float(np.abs(reference - tracker.inverse).max())
+                raise AssertionError(
+                    f"dense backend is not bit-identical to the pre-backend "
+                    f"update kernels (max abs diff {worst:.3e})"
+                )
+            row["bit_identical"] = True
+        else:
+            if not rel_err <= tolerance:
+                raise AssertionError(
+                    f"sparse sketched estimate outside tolerance: {value!r} "
+                    f"vs exact {exact!r} (rel err {rel_err:.3e} > {tolerance})"
+                )
+            row["speedup_vs_dense"] = (
+                timings["dense"] / seconds if seconds else float("inf")
+            )
+            row["solver"] = tracker.backend.solver_used
+        rows.append(row)
+        if verbose:
+            extra = (f"  x{row['speedup_vs_dense']:.2f} vs dense"
+                     if backend == "sparse" else "  bit-identical")
+            print(f"[bench_backend] {backend:>6}: {seconds:.4f}s over "
+                  f"{bursts} bursts (rel err {rel_err:.2e}){extra}")
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Sparse solver-backed vs dense Woodbury resistance backends")
+    parser.add_argument("--n", type=int, default=3000, help="graph size")
+    parser.add_argument("--bursts", type=int, default=6,
+                        help="update bursts to replay")
+    parser.add_argument("--t", type=int, default=32, help="events per burst")
+    parser.add_argument("--refresh-interval", type=int, default=64,
+                        help="staleness budget before a refactorisation")
+    parser.add_argument("--probes", type=int, default=24,
+                        help="Hutchinson probes of the sparse backend")
+    parser.add_argument("--tolerance", type=float, default=0.1,
+                        help="relative-error gate on the sketched estimate")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI gate: smaller sizes plus the >=1.5x "
+                             "sparse-vs-dense speedup check")
+    parser.add_argument("--output-json", default=None,
+                        help="path of the JSON artifact (default in --smoke "
+                             "mode: BENCH_backend.json)")
+    args = parser.parse_args(argv)
+
+    output = args.output_json
+    own_registry = not obs.REGISTRY.enabled
+    if own_registry:
+        obs.REGISTRY.reset()
+        obs.REGISTRY.enable()
+    try:
+        if args.smoke:
+            output = output or "BENCH_backend.json"
+            rows = run_backend_comparison(n=1600, bursts=6, t=32,
+                                          seed=args.seed, probes=args.probes,
+                                          tolerance=args.tolerance,
+                                          refresh_interval=64)
+            sparse = next(r for r in rows if r["backend"] == "sparse")
+            if not sparse["speedup_vs_dense"] >= SMOKE_SPEEDUP:
+                raise AssertionError(
+                    f"sparse backend speedup x{sparse['speedup_vs_dense']:.2f} "
+                    f"below the x{SMOKE_SPEEDUP} smoke gate"
+                )
+        else:
+            rows = run_backend_comparison(n=args.n, bursts=args.bursts,
+                                          t=args.t, seed=args.seed,
+                                          probes=args.probes,
+                                          tolerance=args.tolerance,
+                                          refresh_interval=args.refresh_interval)
+    except AssertionError as exc:
+        print(f"[bench_backend] smoke check FAILED: {exc}")
+        return 1
+    finally:
+        if own_registry:
+            obs.REGISTRY.disable()
+    if output:
+        write_bench_artifact(rows, output, benchmark="backend_compare")
+        write_obs_artifacts(metrics_prefix_for(output), label="bench_backend")
+    print(f"[bench_backend] {len(rows)} backends compared; dense bit-identical, "
+          "sparse sketch within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

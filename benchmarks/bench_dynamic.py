@@ -144,12 +144,14 @@ class TestUpdateHeavyWorkload:
 
 def run_burst_comparison(n: int = 400, bursts: int = 4,
                          t_values=(4, 16, 64), repeats: int = 3,
-                         seed: int = 0, verbose: bool = True):
+                         seed: int = 0, backend: str = "dense",
+                         verbose: bool = True):
     """Time batched vs sequential vs refactorise syncs per burst size ``t``.
 
     Every strategy replays the *same* update stream; their final traces are
     cross-checked to 1e-8 so the timings cannot drift apart semantically.
-    Returns one result dict per ``t``.
+    ``backend`` selects the resistance backend of the incremental trackers
+    and is recorded on every row.  Returns one result dict per ``t``.
     """
     base = generators.barabasi_albert(n, 3, seed=seed)
     group = list(GROUP)
@@ -165,7 +167,8 @@ def run_burst_comparison(n: int = 400, bursts: int = 4,
             tracker = None
             if strategy != "refactorise":
                 tracker = IncrementalResistance(graph, group,
-                                                refresh_interval=10**9)
+                                                refresh_interval=10**9,
+                                                backend=backend)
             value = 0.0
             start = time.perf_counter()
             for _ in range(repeats):
@@ -200,6 +203,7 @@ def run_burst_comparison(n: int = 400, bursts: int = 4,
             )
         row = {
             "t": t,
+            "backend": backend,
             "batched_seconds": timings["batched"],
             "sequential_seconds": timings["sequential"],
             "refactorise_seconds": timings["refactorise"],
@@ -232,6 +236,9 @@ def main(argv=None) -> int:
     parser.add_argument("--t", type=int, nargs="+", default=[4, 16, 64],
                         help="burst sizes to sweep")
     parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument("--backend", choices=("dense", "sparse", "auto"),
+                        default="dense",
+                        help="resistance backend of the incremental trackers")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny sizes for a CI correctness/rot check")
     parser.add_argument("--output-json", default=None,
@@ -251,11 +258,13 @@ def main(argv=None) -> int:
         if args.smoke:
             output = output or "BENCH_dynamic.json"
             rows = run_burst_comparison(n=120, bursts=2, t_values=(4, 16),
-                                        repeats=1, seed=args.seed)
+                                        repeats=1, seed=args.seed,
+                                        backend=args.backend)
         else:
             rows = run_burst_comparison(n=args.n, bursts=args.bursts,
                                         t_values=tuple(args.t),
-                                        repeats=args.repeats, seed=args.seed)
+                                        repeats=args.repeats, seed=args.seed,
+                                        backend=args.backend)
         for row in rows:
             for key in ("batched_seconds", "sequential_seconds",
                         "refactorise_seconds"):

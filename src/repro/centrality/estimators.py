@@ -161,6 +161,7 @@ class PathSystem:
         # Euler-tour intervals give the O(1) "x on BFS path of u" test the
         # diagonal walk needs.
         self.tin, self.tout = tree.euler_intervals()
+        self._levels: Optional[list] = None
 
     @classmethod
     def from_graph(cls, graph: Graph, roots: Sequence[int]) -> "PathSystem":
@@ -180,6 +181,29 @@ class PathSystem:
         """Whether the path tree traverses the undirected edge ``(u, v)``."""
         u, v = int(u), int(v)
         return bool(self.parent[u] == v or self.parent[v] == u)
+
+    def levels(self) -> list:
+        """Nodes grouped by path-tree depth (level 0 = roots), cached.
+
+        The projected-estimator fold needs exactly this grouping for its
+        per-level prefix sums; deriving it from the path tree itself (rather
+        than a separate BFS object) lets pooled consumers fold projected
+        rows against a long-lived path system.
+        """
+        if self._levels is None:
+            depth = np.full(self.n, -1, dtype=np.int64)
+            depth[self.root_mask] = 0
+            pending = self.nonroot.copy()
+            while pending.size:
+                ready = depth[self.parent[pending]] >= 0
+                now = pending[ready]
+                depth[now] = depth[self.parent[now]] + 1
+                pending = pending[~ready]
+            self._levels = [
+                np.flatnonzero(depth == level)
+                for level in range(int(depth.max()) + 1 if depth.size else 0)
+            ]
+        return self._levels
 
     def extended(self, attachment: int) -> "PathSystem":
         """A path system for the graph grown by one node (id ``n``).
@@ -269,6 +293,53 @@ def batched_diag_estimates(forest_parent: np.ndarray, path: PathSystem,
         full[:, starts] = diag
         return full
     return diag
+
+
+def batched_projected_estimates(batch: ForestBatch, path: PathSystem,
+                                weights: np.ndarray) -> np.ndarray:
+    """Per-forest projected estimators ``w_j^T inv(L_{-S}) e_u`` over a batch.
+
+    Returns the ``(B, w, n)`` tensor whose slice ``i`` holds forest ``i``'s
+    unaggregated projected estimator rows under the fixed ``path`` system —
+    the quantity :meth:`ForestAccumulator._fold_batched` weight-sums over
+    the batch axis, exposed per forest so pooled consumers (the engine's
+    JL-projected gain evaluation) can cache rows per forest and fold only
+    fresh draws.  Columns of ``weights`` on roots are zeroed defensively.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    n = path.n
+    if weights.ndim != 2 or weights.shape[1] != n:
+        raise InvalidParameterError(f"weights must have shape (w, {n})")
+    if batch.n != n:
+        raise InvalidParameterError(
+            f"forest batch spans {batch.n} nodes, path system {n}"
+        )
+    weights = weights.copy()
+    weights[:, path.roots] = 0.0
+    parent = batch.parent
+    size = batch.batch_size
+    bfs_parent = path.parent
+    nonroot = path.nonroot
+    alpha = np.zeros((size, n), dtype=bool)
+    beta = np.zeros((size, n), dtype=bool)
+    alpha[:, nonroot] = parent[:, nonroot] == bfs_parent[nonroot]
+    beta[:, nonroot] = parent[:, bfs_parent[nonroot]] == nonroot
+    subtree = batch.subtree_sums(weights)  # (B, w, n)
+    contribution = np.zeros_like(subtree)
+    contribution[:, :, nonroot] = (
+        subtree[:, :, nonroot] * alpha[:, None, nonroot]
+        - subtree[:, :, bfs_parent[nonroot]] * beta[:, None, nonroot]
+    )
+    projected = np.zeros_like(subtree)
+    levels = path.levels()
+    for level in range(1, len(levels)):
+        nodes = levels[level]
+        if nodes.size == 0:
+            continue
+        projected[:, :, nodes] = (
+            projected[:, :, bfs_parent[nodes]] + contribution[:, :, nodes]
+        )
+    return projected
 
 
 def rademacher_weights(rows: int, n: int, excluded: Sequence[int],
@@ -569,33 +640,11 @@ class ForestAccumulator:
         what lets one kernel serve both the fresh-sample estimators and the
         importance-weighted pool evaluation.
         """
-        n = self.graph.n
-        bfs_parent = self._bfs_parent
-        nonroot = self._nonroot
         parent = batch.parent
-        size = batch.batch_size
 
         if self.weights.shape[0]:
-            # The alpha/beta indicators are only needed by the projected
-            # estimators (the diagonal kernel builds its own).
-            alpha = np.zeros((size, n), dtype=bool)
-            beta = np.zeros((size, n), dtype=bool)
-            alpha[:, nonroot] = parent[:, nonroot] == bfs_parent[nonroot]
-            beta[:, nonroot] = parent[:, bfs_parent[nonroot]] == nonroot
-            subtree = batch.subtree_sums(self.weights)  # (B, w, n)
-            contribution = np.zeros_like(subtree)
-            contribution[:, :, nonroot] = (
-                subtree[:, :, nonroot] * alpha[:, None, nonroot]
-                - subtree[:, :, bfs_parent[nonroot]] * beta[:, None, nonroot]
-            )
-            projected = np.zeros_like(subtree)
-            for level in range(1, len(self._levels)):
-                nodes = self._levels[level]
-                if nodes.size == 0:
-                    continue
-                projected[:, :, nodes] = (
-                    projected[:, :, bfs_parent[nodes]] + contribution[:, :, nodes]
-                )
+            projected = batched_projected_estimates(batch, self._path,
+                                                    self.weights)
             self.projected_sum += np.einsum("b,bwn->wn", weights, projected)
 
         diag = batched_diag_estimates(parent, self._path)

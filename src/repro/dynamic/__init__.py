@@ -7,10 +7,13 @@ keeps their state alive while the graph mutates:
   (``add_edge`` / ``remove_edge`` / ``update_weight`` plus ``add_node`` /
   ``remove_node`` with stable ids, version counters, connectivity guards,
   journal compaction, cached immutable snapshots with id remapping);
-* :class:`IncrementalResistance` — grounded-Laplacian inverse maintained by
-  rank-``t`` Woodbury batches (one BLAS-3 pass per journal suffix) with
-  block-inverse grow/downdate on node events and a configurable staleness
-  policy;
+* :class:`IncrementalResistance` — grounded-Laplacian inverse maintained
+  through a pluggable :class:`repro.linalg.backends.ResistanceBackend`:
+  the dense backend folds rank-``t`` Woodbury batches (one BLAS-3 pass per
+  journal suffix) with block-inverse grow/downdate on node events, the
+  sparse backend absorbs the same journal as low-rank corrections against
+  a sparse factorisation (``backend="dense" | "sparse" | "auto"``), both
+  under a configurable staleness policy;
 * :class:`DynamicCFCM` — cached ``query(k, method, eps)`` engine with
   importance-weighted forest pools (ESS-floor top-ups instead of flushes),
   node-churn-aware eviction and hit/miss/batching statistics;

@@ -54,7 +54,10 @@ from repro.centrality.estimators import (
     PathSystem,
     SamplingConfig,
     batched_diag_estimates,
+    batched_projected_estimates,
+    rademacher_weights,
 )
+from repro.linalg.backends import ResistanceBackend, make_resistance_backend
 from repro.centrality.result import CFCMResult
 from repro.dynamic.graph import ADD, ADD_NODE, REMOVE, REMOVE_NODE, DynamicGraph
 from repro.dynamic.resistance import IncrementalResistance
@@ -188,15 +191,42 @@ class DynamicCFCM:
         Fraction of ``pool_size``: when a pool's effective sample size falls
         below ``ess_floor * pool_size``, the next evaluation replaces its
         stale mass with fresh lockstep draws.
+    backend:
+        Resistance backend spec for the exact evaluation path: ``"dense"``
+        (explicit inverse, the default), ``"sparse"`` (solver-backed, never
+        materialises the inverse) or ``"auto"`` (picks by graph
+        size/sparsity); forwarded to every
+        :class:`~repro.dynamic.IncrementalResistance` this engine creates.
+    backend_options:
+        Keyword arguments for the backend constructor (sparse backend only).
     """
 
     def __init__(self, graph: DynamicGraph | Graph, seed: RandomState = None,
                  config: Optional[SamplingConfig] = None, pool_size: int = 24,
                  max_drift: Optional[int] = None, refresh_interval: int = 64,
-                 cache_capacity: int = 64, ess_floor: float = 0.5):
+                 cache_capacity: int = 64, ess_floor: float = 0.5,
+                 backend: str | ResistanceBackend = "dense",
+                 backend_options: Optional[Dict[str, object]] = None):
         if isinstance(graph, Graph):
             graph = DynamicGraph(graph)
         self.graph = graph
+        if isinstance(backend, ResistanceBackend):
+            # One backend instance holds the factorisation of exactly one
+            # grounded matrix; the engine keeps a tracker per *group*, so a
+            # shared instance would corrupt state across groups.
+            raise InvalidParameterError(
+                "DynamicCFCM takes a backend spec string ('dense', 'sparse' "
+                "or 'auto'), not a backend instance — each cached group "
+                "tracker needs its own"
+            )
+        backend = str(backend).lower()
+        if backend not in ("dense", "sparse", "auto"):
+            raise InvalidParameterError(
+                f"unknown resistance backend {backend!r} (expected "
+                f"'dense', 'sparse' or 'auto')"
+            )
+        self.backend = backend
+        self.backend_options = dict(backend_options) if backend_options else None
         self.rng = as_rng(seed)
         self.config = config
         self.pool_size = check_integer("pool_size", pool_size, minimum=1)
@@ -226,6 +256,9 @@ class DynamicCFCM:
         # forest's trace contribution is cached against it, so evaluations
         # only fold freshly drawn forests.
         self._paths: Dict[Tuple[int, ...], PathSystem] = {}
+        # Per-pool JL weight matrix of the projected-gain evaluation; its
+        # lifetime tracks the path system's (same id space, same roots).
+        self._jl: Dict[Tuple[int, ...], np.ndarray] = {}
         self._trackers: Dict[Tuple[int, ...], IncrementalResistance] = {}
         self._pool_version = graph.version
 
@@ -345,7 +378,9 @@ class DynamicCFCM:
                 self.stats.eval_misses += 1
                 span.set(cache="miss")
                 tracker = IncrementalResistance(
-                    self.graph, key, refresh_interval=self.refresh_interval)
+                    self.graph, key, refresh_interval=self.refresh_interval,
+                    backend=self.backend,
+                    backend_options=self.backend_options)
             else:
                 self.stats.eval_hits += 1
                 span.set(cache="hit")
@@ -396,11 +431,7 @@ class DynamicCFCM:
             # trace contribution is not already cached against the pool's
             # path system (fresh draws, or everything after a path
             # invalidation).
-            path = self._paths.get(roots)
-            if path is None or path.n != snapshot.n:
-                path = PathSystem.from_graph(snapshot, compact_roots)
-                self._paths[roots] = path
-                pool.invalidate_traces()
+            path = self._require_path(roots, snapshot, compact_roots, pool)
             stale = np.flatnonzero(~pool.trace_valid)
             if stale.size:
                 with trace("estimator.fold", forests=int(stale.size)):
@@ -416,6 +447,87 @@ class DynamicCFCM:
                        (self.graph.version, value), self.cache_capacity)
             self._record_pool_health(roots, pool)
             return value
+
+    def evaluate_forest_delta(self, group: Sequence[int]) -> Dict[int, float]:
+        """ForestDelta gains ``Δ(u, S)`` for every ``u ∉ S``, from the pool.
+
+        The pooled counterpart of
+        :func:`repro.centrality.estimators.estimate_forest_delta`:
+        ``gains[u] ≈ (inv(L_{-S})²)_uu / (inv(L_{-S}))_uu``, with the
+        numerator JL-sketched through ``config.jl_rows(n)`` Rademacher
+        weight rows.  Per-forest projected and diagonal estimator rows are
+        cached against the pool's path system and JL projection, so a churn
+        evaluation folds only the freshly drawn forests — the same
+        incremental contract :meth:`evaluate_forest` has for traces.  Keys
+        are stable node ids.
+        """
+        if not self.graph.is_unit_weighted:
+            raise InvalidParameterError(
+                "forest evaluation assumes unit edge weights; use mode='exact'"
+            )
+        roots = self.graph.validate_group(group)
+        with trace("engine.evaluate_forest_delta", roots=_pool_key(roots)) \
+                as span, _op_timer("evaluate_forest_delta"):
+            self._sync_pools()
+            cache_key = ("forest_delta", roots)
+            cached = self._eval_cache.get(cache_key)
+            if cached is not None and cached[0] == self.graph.version:
+                self.stats.eval_hits += 1
+                span.set(cache="hit")
+                _lru_store(self._eval_cache, cache_key, cached,
+                           self.cache_capacity)
+                return dict(cached[1])
+            self.stats.eval_misses += 1
+            span.set(cache="miss")
+
+            snapshot = self.graph.snapshot()
+            compact_roots = self.graph.compact_nodes(roots)
+            pool = self._require_pool(roots, compact_roots)
+            self.stats.forests_kept += pool.size
+            self._top_up(pool, snapshot, compact_roots)
+            path = self._require_path(roots, snapshot, compact_roots, pool)
+
+            rows = (self.config or SamplingConfig()).jl_rows(snapshot.n)
+            jl = self._jl.get(roots)
+            if jl is None or jl.shape != (rows, snapshot.n):
+                jl = rademacher_weights(rows, snapshot.n, compact_roots,
+                                        self.rng)
+                self._jl[roots] = jl
+                pool.invalidate_projected()
+            stale = np.flatnonzero(~pool.projected_valid)
+            if stale.size:
+                with trace("estimator.fold_projected", forests=int(stale.size)):
+                    mask = np.zeros(pool.size, dtype=bool)
+                    mask[stale] = True
+                    sub = pool.batch().select(mask)
+                    projected = batched_projected_estimates(sub, path, jl)
+                    diag = batched_diag_estimates(sub.parent, path)
+                    pool.set_projected(stale, projected, diag)
+                _FOLD_FORESTS.observe(int(stale.size))
+                self.stats.forests_folded += int(stale.size)
+            weights = pool.weights()
+            total = float(weights.sum())
+            mean_projected = np.einsum("b,bwn->wn", weights,
+                                       pool.projected) / total
+            mean_diag = (weights @ pool.projected_diag) / total
+            numerators = np.sum(mean_projected * mean_projected, axis=0)
+
+            mapping = self.graph.snapshot_mapping()
+            degrees = snapshot.degrees
+            compact_set = set(int(r) for r in compact_roots)
+            gains: Dict[int, float] = {}
+            for u in range(snapshot.n):
+                if u in compact_set:
+                    continue
+                # Same denominator floor as the batch estimator:
+                # (inv(L_{-S}))_uu >= 1/d_u by the Neumann series.
+                floor = 1.0 / max(int(degrees[u]), 1)
+                denominator = max(float(mean_diag[u]), floor)
+                gains[int(mapping[u])] = float(numerators[u]) / denominator
+            _lru_store(self._eval_cache, cache_key,
+                       (self.graph.version, gains), self.cache_capacity)
+            self._record_pool_health(roots, pool)
+            return dict(gains)
 
     def refill_pool(self, group: Sequence[int], sampler=None) -> int:
         """Top the forest pool of ``group`` up; returns the number drawn.
@@ -462,9 +574,27 @@ class DynamicCFCM:
             pool = WeightedForestPool(compact_roots, capacity=self.pool_size,
                                       ess_floor=self.ess_floor)
             self._paths.pop(roots, None)
+            self._jl.pop(roots, None)
         _lru_store(self._pools, roots, pool, self.cache_capacity,
                    on_evict=self._on_pool_evicted)
         return pool
+
+    def _require_path(self, roots: Tuple[int, ...], snapshot: Graph,
+                      compact_roots: Sequence[int],
+                      pool: WeightedForestPool) -> PathSystem:
+        """The pool's path system, rebuilt when the id space moved on.
+
+        A rebuild invalidates every cached per-forest estimator row (traces
+        and projected rows alike): they were computed against paths that no
+        longer exist.
+        """
+        path = self._paths.get(roots)
+        if path is None or path.n != snapshot.n:
+            path = PathSystem.from_graph(snapshot, compact_roots)
+            self._paths[roots] = path
+            pool.invalidate_traces()
+            pool.invalidate_projected()
+        return path
 
     def _top_up(self, pool: WeightedForestPool, snapshot: Graph,
                 compact_roots: Sequence[int], sampler=None) -> int:
@@ -584,8 +714,10 @@ class DynamicCFCM:
         for roots, pool in self._pools.items():
             if pool.size == 0:
                 # Nothing to extend — and any cached path system is now one
-                # node behind the id space, so it must not survive either.
+                # node behind the id space, so it must not survive either
+                # (nor the JL projection, drawn for the old node count).
                 self._paths.pop(roots, None)
+                self._jl.pop(roots, None)
                 continue
             if pool.n != new_column:
                 self._flush_pool(roots, pool)  # id-space mismatch: rebuild lazily
@@ -620,6 +752,7 @@ class DynamicCFCM:
             self.stats.forests_dropped += pool.take_dead_drops()
             if pool.size == 0:
                 self._paths.pop(roots, None)
+                self._jl.pop(roots, None)
 
     def _invalidate_pools(self, event) -> None:
         """Drop exactly the forests whose parent pointers use a deleted edge."""
@@ -633,11 +766,14 @@ class DynamicCFCM:
                 continue
             if pool.size == 0:
                 self._paths.pop(roots, None)
+                self._jl.pop(roots, None)
             elif path.uses_edge(cu, cv):
                 # The deleted edge was on the fixed path system: cached
-                # trace contributions are for paths that no longer exist.
+                # trace and projected contributions are for paths that no
+                # longer exist.
                 del self._paths[roots]
                 pool.invalidate_traces()
+                pool.invalidate_projected()
 
     def _reweight_pools(self, event) -> None:
         """Apply the exact density ratio ``w'/w`` to an edge's using forests."""
@@ -659,12 +795,14 @@ class DynamicCFCM:
             self.stats.forests_dropped += pool.take_dead_drops()
             if pool.size == 0:
                 self._paths.pop(roots, None)
+                self._jl.pop(roots, None)
 
     def _flush_pool(self, roots: Tuple[int, ...],
                     pool: WeightedForestPool) -> None:
         """Flush a pool and retire its path system (kept in lockstep:
         a path entry must never outlive the forests it was built for)."""
         self._paths.pop(roots, None)
+        self._jl.pop(roots, None)
         if pool.size:
             pool.flush()
             self.stats.pools_flushed += 1
@@ -679,8 +817,9 @@ class DynamicCFCM:
             del self._trackers[group]
             self.stats.node_evictions += 1
         # Surviving pools' forests no longer span a valid snapshot id space,
-        # and neither does any path system.
+        # and neither does any path system or JL projection.
         self._paths.clear()
+        self._jl.clear()
         for roots, pool in self._pools.items():
             self._flush_pool(roots, pool)
 
@@ -695,6 +834,7 @@ class DynamicCFCM:
         self.stats.pools_evicted += 1
         self.stats.pool_ess.pop(_pool_key(roots), None)
         self._paths.pop(roots, None)
+        self._jl.pop(roots, None)
 
     def _record_pool_health(self, roots: Tuple[int, ...],
                             pool: WeightedForestPool) -> None:

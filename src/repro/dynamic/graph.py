@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.exceptions import (
     DisconnectedGraphError,
@@ -476,6 +477,36 @@ class DynamicGraph:
         np.add.at(matrix, (u, v), -weights)
         np.add.at(matrix, (v, u), -weights)
         return matrix
+
+    def laplacian_sparse(self) -> sp.csr_matrix:
+        """Sparse (CSR) weighted Laplacian of the current state.
+
+        Same snapshot-id row/column convention as :meth:`laplacian_dense`,
+        assembled in O(m) without the dense ``(n, n)`` buffer — this is what
+        the sparse resistance backend factorises, so it must stay cheap on
+        graphs where the dense form no longer fits the n² budget.
+        """
+        n = self._active_count
+        if not self._weights:
+            return sp.csr_matrix((n, n), dtype=np.float64)
+        keys = np.fromiter(
+            (x for key in self._weights for x in key),
+            dtype=np.int64, count=2 * len(self._weights),
+        ).reshape(-1, 2)
+        weights = np.fromiter(self._weights.values(), dtype=np.float64,
+                              count=len(self._weights))
+        mapping = self.snapshot_mapping()
+        if int(mapping[-1]) == n - 1:
+            u, v = keys[:, 0], keys[:, 1]
+        else:
+            u = np.searchsorted(mapping, keys[:, 0])
+            v = np.searchsorted(mapping, keys[:, 1])
+        data = np.concatenate([weights, weights, -weights, -weights])
+        rows = np.concatenate([u, v, u, v])
+        cols = np.concatenate([u, v, v, u])
+        matrix = sp.coo_matrix((data, (rows, cols)), shape=(n, n),
+                               dtype=np.float64)
+        return matrix.tocsr()
 
     # ------------------------------------------------------------- internals
     def _check_active(self, node: int) -> int:

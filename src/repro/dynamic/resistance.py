@@ -1,30 +1,35 @@
 """Incremental effective-resistance state under batched edge and node updates.
 
-:class:`IncrementalResistance` maintains the dense grounded-Laplacian inverse
+:class:`IncrementalResistance` maintains the grounded-Laplacian inverse
 ``inv(L_{-S})`` of a :class:`repro.dynamic.DynamicGraph` for a fixed grounded
-group ``S``.  A pending journal suffix of ``t`` edge events is one rank-``t``
-Laplacian perturbation ``B D Bᵀ``, folded in with a single Woodbury solve
-(:func:`repro.linalg.grounded_inverse_block_update`) at O(n²t) in one BLAS-3
-pass — cheaper and numerically tighter than ``t`` chained Sherman–Morrison
-steps, which remain the ``t = 1`` fast path.  Node events bracket the edge
-batches:
+group ``S`` — *through* a pluggable :class:`repro.linalg.ResistanceBackend`
+rather than one hard-coded representation.  A pending journal suffix of ``t``
+edge events is one rank-``t`` Laplacian perturbation ``B D Bᵀ``, handed to
+the backend as a single batch: the ``dense`` backend folds it with an
+explicit-inverse Woodbury solve (O(n²t) in one BLAS-3 pass, bit-identical to
+the historical engine), the ``sparse`` backend accumulates it as an implicit
+low-rank correction over a sparse LU base factor (Õ(m·t)).  Node events
+bracket the edge batches:
 
-* ``add_node`` *grows* the inverse by one row/column
-  (:func:`repro.linalg.grounded_inverse_grow`) after a batched diagonal
+* ``add_node`` *grows* the state by one row/column after a batched diagonal
   correction for the kept neighbours' new degrees;
-* ``remove_node`` *downdates* the removed row
-  (:func:`repro.linalg.grounded_inverse_downdate`) and then batch-corrects
-  the neighbours' diagonals — removing a node deletes its edges, which
-  grounding alone would not reflect.
+* ``remove_node`` *downdates* the removed row and then batch-corrects the
+  neighbours' diagonals — removing a node deletes its edges, which grounding
+  alone would not reflect.
+
+Backends that do not implement incremental grow/downdate (the sparse one)
+answer node events with a refactorisation instead — at Õ(m) that is cheaper
+there than the dense-style surgery would be.
 
 Staleness policy
 ----------------
 Low-rank updates are exact in exact arithmetic but accumulate floating-point
 drift, and long journals eventually cost more than one clean factorisation.
-The tracker therefore refreshes (re-inverts from the current graph state)
+The tracker therefore refreshes (re-factorises from the current graph state)
 
 * when the pending suffix would push the low-rank updates since the last
-  factorisation past ``refresh_interval``,
+  factorisation past ``refresh_interval`` (clamped to the backend's own
+  ``max_updates`` correction-rank cap, when it has one),
 * whenever a batch is singular (its capacitance matrix is not invertible),
   which for deletions means the grounded graph lost its last path to ground —
   the connectivity guards of :class:`DynamicGraph` make this rare, but
@@ -42,17 +47,16 @@ no longer exists) and raises :class:`repro.exceptions.GraphError`;
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.exceptions import GraphError, InvalidParameterError
 from repro.dynamic.graph import ADD_NODE, DynamicGraph, GraphUpdate
-from repro.linalg.updates import (
-    grounded_inverse_block_update,
-    grounded_inverse_downdate,
-    grounded_inverse_edge_update,
-    grounded_inverse_grow,
+from repro.linalg.backends import (
+    DenseResistanceBackend,
+    ResistanceBackend,
+    make_resistance_backend,
 )
 from repro.obs.metrics import REGISTRY, SIZE_BUCKETS
 from repro.obs.tracing import trace
@@ -67,6 +71,11 @@ _SYNC_EVENTS = REGISTRY.histogram(
     "repro_resistance_sync_events",
     "Pending journal events folded per synchronisation",
     buckets=SIZE_BUCKETS,
+)
+_BACKEND_SYNC_SECONDS = REGISTRY.histogram(
+    "repro_backend_sync_seconds",
+    "Wall time of one journal synchronisation, split by resistance backend",
+    labels=("backend",),
 )
 
 # (i, j, delta) in local row indices; j is None for a grounded endpoint.
@@ -112,7 +121,17 @@ class IncrementalResistance:
     refresh_interval:
         Staleness budget ``r``: when the pending journal suffix would push
         the number of low-rank updates since the last factorisation past
-        ``r``, the synchronisation re-factorises from scratch instead.
+        ``r``, the synchronisation re-factorises from scratch instead.  The
+        effective budget is ``min(r, backend.max_updates)`` when the backend
+        caps its own correction rank.
+    backend:
+        Resistance backend spec: ``"dense"`` (explicit inverse, the
+        default — bit-identical to the historical engine), ``"sparse"``
+        (solver-backed, never materialises the inverse), ``"auto"`` (picks
+        by graph size/sparsity), or a ready
+        :class:`repro.linalg.ResistanceBackend` instance.
+    backend_options:
+        Keyword arguments for the backend constructor (sparse backend only).
 
     Attributes
     ----------
@@ -123,15 +142,28 @@ class IncrementalResistance:
     """
 
     def __init__(self, graph: DynamicGraph, group: Sequence[int],
-                 refresh_interval: int = 64):
+                 refresh_interval: int = 64,
+                 backend: Union[str, ResistanceBackend] = "dense",
+                 backend_options: Optional[Dict[str, object]] = None):
         self.graph = graph
         self.group = list(graph.validate_group(group))
         self.refresh_interval = check_integer("refresh_interval", refresh_interval,
                                               minimum=1)
+        self.backend = make_resistance_backend(
+            backend, n=graph.n, m=graph.m, options=backend_options,
+        )
         self.stats = ResistanceStats()
         self._updates_since_refresh = 0
         self._synced_version = -1
         self._factorize()
+
+    @property
+    def _budget(self) -> int:
+        """Effective staleness budget (tracker policy ∧ backend rank cap)."""
+        cap = self.backend.max_updates
+        if cap is None:
+            return self.refresh_interval
+        return min(self.refresh_interval, cap)
 
     # ---------------------------------------------------------------- syncing
     def sync(self) -> "IncrementalResistance":
@@ -147,13 +179,15 @@ class IncrementalResistance:
             return self
         pending = graph.version - self._synced_version
         start = clock()
-        with trace("resistance.sync", pending=pending):
+        with trace("resistance.sync", pending=pending, backend=self.backend.name):
             try:
                 return self._sync_pending(graph)
             finally:
                 if REGISTRY.enabled:
-                    _SYNC_SECONDS.observe(clock() - start)
+                    elapsed = clock() - start
+                    _SYNC_SECONDS.observe(elapsed)
                     _SYNC_EVENTS.observe(pending)
+                    _BACKEND_SYNC_SECONDS.observe(elapsed, backend=self.backend.name)
 
     def _sync_pending(self, graph: DynamicGraph) -> "IncrementalResistance":
         """The replay half of :meth:`sync` (pending events guaranteed)."""
@@ -174,15 +208,25 @@ class IncrementalResistance:
         grounded = set(self.group)
         relevant: List[GraphUpdate] = []
         cost = 0
+        node_events = False
         for event in events:
             if event.is_node_event:
                 relevant.append(event)
+                node_events = True
                 cost += 1 + sum(neighbour not in grounded
                                 for neighbour, _ in event.edges)
             elif event.u not in grounded or event.v not in grounded:
                 relevant.append(event)
                 cost += 1
-        if self._updates_since_refresh + cost > self.refresh_interval:
+        if node_events and not self.backend.supports_node_updates:
+            # Backends without incremental grow/downdate (sparse) answer
+            # node churn with a clean factorisation — Õ(m) there.  A removed
+            # *grounded* node still surfaces as the usual GraphError, raised
+            # by the missing-group check inside the factorisation.
+            self._factorize()
+            self.stats.refreshes += 1
+            return self
+        if self._updates_since_refresh + cost > self._budget:
             self._factorize()
             self.stats.refreshes += 1
             return self
@@ -210,18 +254,28 @@ class IncrementalResistance:
 
     # ---------------------------------------------------------------- queries
     def trace(self) -> float:
-        """Current ``Tr(inv(L_{-S})) = Σ_u R(u, S)`` (synchronises first)."""
+        """Current ``Tr(inv(L_{-S})) = Σ_u R(u, S)`` (synchronises first).
+
+        Backends serving sketched diagonals (sparse, large n) return the
+        Hutchinson estimate here; pass exactness concerns through
+        :meth:`diagonal` with ``mode="exact"`` instead.
+        """
         self.sync()
-        return float(np.trace(self.inverse))
+        return self.backend.trace()
 
     def group_cfcc(self) -> float:
         """Current group CFCC ``C(S) = n / Tr(inv(L_{-S}))``."""
         return self.graph.n / self.trace()
 
-    def diagonal(self) -> np.ndarray:
-        """Diagonal of the current inverse, indexed by :attr:`kept`."""
+    def diagonal(self, mode: str = "auto") -> np.ndarray:
+        """Diagonal of the current inverse, indexed by :attr:`kept`.
+
+        ``mode`` selects the backend's policy: ``"exact"`` forces the
+        escape hatch (n solves on solver-backed engines), ``"sketch"`` a
+        Hutchinson estimate where supported, ``"auto"`` the backend default.
+        """
         self.sync()
-        return np.diag(self.inverse).copy()
+        return self.backend.diagonal(mode=mode)
 
     def resistance_to_group(self, node: int) -> float:
         """Effective resistance ``R(u, S)`` of one node to the grounded group."""
@@ -230,7 +284,36 @@ class IncrementalResistance:
         local = self._local.get(node)
         if local is None:
             return 0.0
-        return float(self.inverse[local, local])
+        return self.backend.diag_entry(local)
+
+    def resistance_column(self, node: int) -> np.ndarray:
+        """Column of ``inv(L_{-S})`` for one kept node, by stable id.
+
+        Lazily materialised and version-cached by the backend, so repeated
+        single-column walks only pay for the columns they actually touch.
+        The all-grounded convention returns a zero column.
+        """
+        node = self.graph._check_active(node)
+        self.sync()
+        local = self._local.get(node)
+        if local is None:
+            return np.zeros(len(self.kept), dtype=np.float64)
+        return np.asarray(self.backend.column(local), dtype=np.float64).copy()
+
+    @property
+    def inverse(self) -> np.ndarray:
+        """The explicit dense inverse — dense backend only.
+
+        The sparse backend never materialises it; callers needing matrix
+        entries should go through :meth:`diagonal` /
+        :meth:`resistance_column` instead.
+        """
+        if isinstance(self.backend, DenseResistanceBackend):
+            return self.backend.inverse
+        raise InvalidParameterError(
+            f"backend {self.backend.name!r} does not materialise the dense "
+            f"inverse; query diagonal()/resistance_column() instead"
+        )
 
     @property
     def synced_version(self) -> int:
@@ -252,11 +335,10 @@ class IncrementalResistance:
     def _apply_triples(self, triples: List[_Triple]) -> None:
         if not triples:
             return
+        self.backend.apply_triples(triples)
         if len(triples) == 1:
-            self.inverse = grounded_inverse_edge_update(self.inverse, *triples[0])
             self.stats.rank1_updates += 1
         else:
-            self.inverse = grounded_inverse_block_update(self.inverse, triples)
             self.stats.batch_updates += 1
             self.stats.batched_events += len(triples)
         self._updates_since_refresh += len(triples)
@@ -275,14 +357,14 @@ class IncrementalResistance:
             for neighbour, weight in event.edges
             if neighbour in self._local
         ])
-        rows = self.inverse.shape[0]
+        rows = len(self.kept)
         column = np.zeros(rows, dtype=np.float64)
         for neighbour, weight in event.edges:
             local = self._local.get(neighbour)
             if local is not None:
                 column[local] = -weight
         degree = sum(weight for _, weight in event.edges)
-        self.inverse = grounded_inverse_grow(self.inverse, column, degree)
+        self.backend.grow(column, degree)
         self._local[int(event.node)] = rows
         self.kept = np.append(self.kept, int(event.node))
         self.stats.node_grows += 1
@@ -297,7 +379,7 @@ class IncrementalResistance:
                 f"tracked group {self.group} no longer exists"
             )
         local = self._local.pop(node)
-        self.inverse = grounded_inverse_downdate(self.inverse, local)
+        self.backend.downdate(local)
         self.kept = np.delete(self.kept, local)
         for other, row in self._local.items():
             if row > local:
@@ -321,9 +403,13 @@ class IncrementalResistance:
             )
         grounded = set(self.group)
         keep_mask = np.array([int(x) not in grounded for x in mapping])
-        full = graph.laplacian_dense()
         positions = np.flatnonzero(keep_mask)
-        self.inverse = np.linalg.inv(full[np.ix_(positions, positions)])
+        if self.backend.wants_sparse:
+            full = graph.laplacian_sparse()
+            self.backend.factorize(full[positions][:, positions].tocsc())
+        else:
+            full = graph.laplacian_dense()
+            self.backend.factorize(full[np.ix_(positions, positions)])
         self.kept = mapping[keep_mask].copy()
         self._local = {int(x): row for row, x in enumerate(self.kept)}
         self._updates_since_refresh = 0

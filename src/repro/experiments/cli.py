@@ -65,6 +65,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fraction of serve-study arrivals that are queries")
     parser.add_argument("--workers", type=int, default=2,
                         help="worker threads of the async service")
+    parser.add_argument("--backend", choices=("dense", "sparse", "auto"),
+                        default="dense",
+                        help="resistance backend of the dynamic/serve "
+                             "studies: dense explicit-inverse Woodbury, "
+                             "sparse solver-backed, or auto by graph size")
     parser.add_argument("--smoke", action="store_true",
                         help="serve study: shrink the workload and gate on "
                              "async/sync equivalence (non-zero exit on mismatch)")
@@ -113,6 +118,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         run_dynamic(k=k, eps=args.eps, max_samples=args.max_samples,
                     seed=args.seed, scale=args.scale, quick=args.quick,
                     batch=args.batch, node_churn=args.node_churn,
+                    backend=args.backend,
                     output_json=args.output_json,
                     metrics_prefix=args.metrics_prefix)
     if name == "serve":
@@ -120,6 +126,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                           query_fraction=args.query_fraction, k=k,
                           eps=args.eps, node_churn=args.node_churn,
                           workers=args.workers, seed=args.seed,
+                          backend=args.backend,
                           smoke=args.smoke, quick=args.quick,
                           output_json=args.output_json,
                           metrics_prefix=args.metrics_prefix,

@@ -45,6 +45,7 @@ def run_dynamic(k: int = 5, eps: float = 0.3, max_samples: int = 48,
                 ratios: Sequence[Tuple[int, int]] = ((8, 1), (2, 1), (1, 1), (1, 4)),
                 rounds: int = 4, method: str = "exact",
                 batch: int = 1, node_churn: float = 0.0,
+                backend: str = "dense",
                 verbose: bool = True, quick: bool = False,
                 output_json: Optional[str] = None,
                 metrics_prefix: Optional[str] = None) -> List[Dict[str, object]]:
@@ -64,6 +65,10 @@ def run_dynamic(k: int = 5, eps: float = 0.3, max_samples: int = 48,
         Woodbury update.
     node_churn:
         Fraction of events that add/remove a node instead of an edge.
+    backend:
+        Resistance backend of the engine pass (``"dense"``, ``"sparse"`` or
+        ``"auto"``); recorded on every row so the perf trajectory
+        distinguishes the engines.
     metrics_prefix:
         When given, the run records onto :data:`repro.obs.REGISTRY` and the
         registry is written as ``<prefix>.prom``/``<prefix>.json`` at the
@@ -91,7 +96,7 @@ def run_dynamic(k: int = 5, eps: float = 0.3, max_samples: int = 48,
         # selection queries go through the version-aware cache.
         rng = np.random.default_rng(seed)
         graph = DynamicGraph(base)
-        engine = DynamicCFCM(graph, seed=seed, config=config)
+        engine = DynamicCFCM(graph, seed=seed, config=config, backend=backend)
         start = clock()
         group = engine.query(k, method=method, eps=eps).group
         for _ in range(rounds):
@@ -136,6 +141,7 @@ def run_dynamic(k: int = 5, eps: float = 0.3, max_samples: int = 48,
             "rounds": rounds,
             "batch": batch,
             "node_churn": node_churn,
+            "backend": backend,
             "engine_seconds": engine_seconds,
             "scratch_seconds": scratch_seconds,
             "speedup": scratch_seconds / engine_seconds if engine_seconds else None,

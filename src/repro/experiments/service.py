@@ -43,10 +43,14 @@ async def _drive(
     node_churn: float,
     workers: int,
     seed: int,
+    backend: Optional[str],
 ) -> Tuple[TrafficReport, float, int, float, Dict, Dict, Tuple[int, ...]]:
     """Replay one Poisson traffic stream; returns the raw measurements."""
     monitor = tuple(range(min(3, base.n - 1)))
-    async with AsyncCFCMService(base, seed=seed, workers=workers) as service:
+    kwargs: Dict[str, object] = {}
+    if backend is not None:
+        kwargs["backend"] = backend
+    async with AsyncCFCMService(base, seed=seed, workers=workers, **kwargs) as service:
         started = clock()
         report = await poisson_traffic(
             service,
@@ -124,6 +128,7 @@ def run_service(
     node_churn: float = 0.0,
     workers: int = 2,
     seed: int = 0,
+    backend: Optional[str] = None,
     n: int = 240,
     smoke: bool = False,
     quick: bool = False,
@@ -134,9 +139,12 @@ def run_service(
 ) -> Dict[str, object]:
     """Execute the service study; returns one row (with a ``failures`` list).
 
-    ``smoke`` shrinks the workload and enables the equivalence gate: any
-    mismatch against the fresh synchronous engine lands in ``failures`` and
-    the CLI exits non-zero.  The run records into :mod:`repro.obs`: latency
+    ``backend`` selects the resistance backend of the serving engine
+    (``"dense"``, ``"sparse"`` or ``"auto"``); ``None`` keeps the service
+    default.  ``smoke`` shrinks the workload and enables the equivalence
+    gate: any mismatch against the fresh synchronous engine lands in
+    ``failures`` and the CLI exits non-zero.  The run records into
+    :mod:`repro.obs`: latency
     percentiles and the coalescing batch-size histogram are read back from
     the registry, ``metrics_prefix`` writes ``<prefix>.prom``/``<prefix>.json``
     exposition artifacts, and ``trace_output`` streams the span trace as
@@ -158,7 +166,7 @@ def run_service(
     tracer = obs.enable_tracing(jsonl_path=trace_output)
     try:
         measured = asyncio.run(
-            _drive(base, ops, rate, query_fraction, k, eps, node_churn, workers, seed)
+            _drive(base, ops, rate, query_fraction, k, eps, node_churn, workers, seed, backend)
         )
         report, final_value, final_version, wall, service_stats, engine_stats, monitor = measured
 
@@ -192,6 +200,7 @@ def run_service(
         "query_fraction": query_fraction,
         "node_churn": node_churn,
         "workers": workers,
+        "backend": backend or "dense",
         "wall_seconds": wall,
         "throughput_ops_per_s": completed / wall if wall else None,
         "queries": report.queries,

@@ -8,8 +8,27 @@ from repro.linalg.laplacian import (
     transition_matrix,
 )
 from repro.linalg.pseudoinverse import laplacian_pseudoinverse, pseudoinverse_diagonal
-from repro.linalg.solvers import LaplacianSolver, SolverMethod
-from repro.linalg.jl import JLProjection, jl_dimension
+from repro.linalg.solvers import (
+    LaplacianSolver,
+    PreconditionerCache,
+    SolverMethod,
+    build_preconditioner,
+    estimate_trace_of_inverse,
+    solve_grounded,
+)
+from repro.linalg.jl import (
+    JLProjection,
+    hutchinson_diagonal,
+    hutchinson_probes,
+    jl_dimension,
+)
+from repro.linalg.backends import (
+    DenseResistanceBackend,
+    ResistanceBackend,
+    SparseResistanceBackend,
+    choose_backend,
+    make_resistance_backend,
+)
 from repro.linalg.schur import (
     schur_complement,
     schur_onto,
@@ -38,9 +57,20 @@ __all__ = [
     "laplacian_pseudoinverse",
     "pseudoinverse_diagonal",
     "LaplacianSolver",
+    "PreconditionerCache",
     "SolverMethod",
+    "build_preconditioner",
+    "estimate_trace_of_inverse",
+    "solve_grounded",
     "JLProjection",
+    "hutchinson_diagonal",
+    "hutchinson_probes",
     "jl_dimension",
+    "ResistanceBackend",
+    "DenseResistanceBackend",
+    "SparseResistanceBackend",
+    "choose_backend",
+    "make_resistance_backend",
     "schur_complement",
     "schur_onto",
     "grounded_inverse_block",

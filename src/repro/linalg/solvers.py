@@ -53,13 +53,18 @@ class LaplacianSolver:
         Relative residual tolerance for the CG method.
     maxiter:
         CG iteration cap (``None`` lets scipy pick ``10 n``).
+    preconditioner:
+        Optional pre-built preconditioner for the CG method (e.g. from
+        :class:`PreconditionerCache`); when omitted a Jacobi preconditioner
+        is built from the matrix diagonal.
     """
 
     def __init__(self, matrix: Matrix,
                  method: Union[SolverMethod, str] = SolverMethod.AUTO,
                  tol: float = 1e-10,
                  maxiter: Optional[int] = None,
-                 dense_threshold: int = 600):
+                 dense_threshold: int = 600,
+                 preconditioner: Optional[spla.LinearOperator] = None):
         method = SolverMethod(method)
         self.tol = float(tol)
         self.maxiter = maxiter
@@ -91,15 +96,10 @@ class LaplacianSolver:
         elif method is SolverMethod.CONJUGATE_GRADIENT:
             sparse = sp.csr_matrix(matrix, dtype=np.float64)
             self._sparse_matrix = sparse
-            diagonal = sparse.diagonal()
-            if np.any(diagonal <= 0):
-                raise InvalidParameterError(
-                    "CG with Jacobi preconditioning requires positive diagonal entries"
-                )
-            inverse_diag = 1.0 / diagonal
-            self._preconditioner = spla.LinearOperator(
-                sparse.shape, matvec=lambda x: inverse_diag * x
-            )
+            if preconditioner is not None:
+                self._preconditioner = preconditioner
+            else:
+                self._preconditioner = build_preconditioner(sparse, kind="jacobi")
         else:  # pragma: no cover - exhaustive enum
             raise InvalidParameterError(f"unsupported solver method {method}")
 
@@ -172,10 +172,93 @@ def _cg(matrix, rhs, rtol, maxiter, M):
         return spla.cg(matrix, rhs, tol=rtol, maxiter=maxiter, M=M)
 
 
+def build_preconditioner(matrix: Matrix, kind: str = "jacobi",
+                         drop_tol: float = 1e-4,
+                         fill_factor: float = 10.0) -> spla.LinearOperator:
+    """Build a CG preconditioner for an SPD (grounded-Laplacian) matrix.
+
+    ``kind`` is ``"jacobi"`` (inverse diagonal — cheap, always applicable to
+    grounded Laplacians) or ``"ilu"`` (incomplete LU via ``spilu`` — costlier
+    to build, stronger on ill-conditioned systems).
+    """
+    kind = str(kind).lower()
+    if kind == "jacobi":
+        sparse = matrix if sp.issparse(matrix) else sp.csr_matrix(matrix)
+        diagonal = np.asarray(sparse.diagonal(), dtype=np.float64)
+        if np.any(diagonal <= 0):
+            raise InvalidParameterError(
+                "CG with Jacobi preconditioning requires positive diagonal entries"
+            )
+        inverse_diag = 1.0 / diagonal
+        return spla.LinearOperator(sparse.shape, matvec=lambda x: inverse_diag * x)
+    if kind == "ilu":
+        sparse = sp.csc_matrix(matrix, dtype=np.float64)
+        factor = spla.spilu(sparse, drop_tol=drop_tol, fill_factor=fill_factor)
+        return spla.LinearOperator(sparse.shape, matvec=factor.solve)
+    raise InvalidParameterError(
+        f"preconditioner kind must be 'jacobi' or 'ilu', got {kind!r}"
+    )
+
+
+class PreconditionerCache:
+    """Reuse a preconditioner across repeated solves on one matrix version.
+
+    Iterative callers (the sparse resistance backend, repeated
+    ``solve_grounded`` sweeps) re-solve against the same matrix many times
+    between mutations.  Keyed on a caller-supplied version counter (plus the
+    system size, so stale versions of a *different* matrix never alias), the
+    cache rebuilds the preconditioner only when the version moves on.
+    """
+
+    def __init__(self, kind: str = "jacobi", drop_tol: float = 1e-4,
+                 fill_factor: float = 10.0):
+        if str(kind).lower() not in ("jacobi", "ilu"):
+            raise InvalidParameterError(
+                f"preconditioner kind must be 'jacobi' or 'ilu', got {kind!r}"
+            )
+        self.kind = str(kind).lower()
+        self.drop_tol = float(drop_tol)
+        self.fill_factor = float(fill_factor)
+        self._key: Optional[tuple] = None
+        self._operator: Optional[spla.LinearOperator] = None
+        #: Cache statistics, for tests and tuning.
+        self.builds = 0
+        self.hits = 0
+
+    def get(self, matrix: Matrix, version: int) -> spla.LinearOperator:
+        """The preconditioner for ``matrix`` at ``version`` (cached if fresh)."""
+        key = (int(version), int(matrix.shape[0]))
+        if self._operator is not None and self._key == key:
+            self.hits += 1
+            return self._operator
+        self._operator = build_preconditioner(
+            matrix, kind=self.kind,
+            drop_tol=self.drop_tol, fill_factor=self.fill_factor,
+        )
+        self._key = key
+        self.builds += 1
+        return self._operator
+
+    def invalidate(self) -> None:
+        """Drop the cached operator (next ``get`` rebuilds)."""
+        self._key = None
+        self._operator = None
+
+
 def solve_grounded(matrix: Matrix, rhs: np.ndarray,
-                   method: Union[SolverMethod, str] = SolverMethod.AUTO) -> np.ndarray:
-    """One-shot convenience wrapper: factor ``matrix`` and solve for ``rhs``."""
-    return LaplacianSolver(matrix, method=method).solve(np.asarray(rhs, float))
+                   method: Union[SolverMethod, str] = SolverMethod.AUTO,
+                   rtol: float = 1e-10,
+                   maxiter: Optional[int] = None,
+                   preconditioner: Optional[spla.LinearOperator] = None,
+                   ) -> np.ndarray:
+    """One-shot convenience wrapper: factor ``matrix`` and solve for ``rhs``.
+
+    ``rtol``/``maxiter``/``preconditioner`` reach the CG method when it is
+    selected; the direct methods ignore them.
+    """
+    solver = LaplacianSolver(matrix, method=method, tol=rtol, maxiter=maxiter,
+                             preconditioner=preconditioner)
+    return solver.solve(np.asarray(rhs, float))
 
 
 def estimate_trace_of_inverse(matrix: Matrix, probes: int = 32,

@@ -65,6 +65,11 @@ cache row-aligned through every compress/admit.  Weight updates never touch
 it; the consumer (the dynamic engine) fills invalid rows, extends it on
 node joins, and invalidates it when its path system dies — which is what
 lets a pooled evaluation under churn fold only the freshly drawn forests.
+The same contract extends to the JL-*projected* estimator rows (each
+forest's ``(w, n)`` projected tensor plus its diagonal row, the inputs of
+the ``estimate_forest_delta``-style gain evaluation): cached per forest,
+row-aligned through every compress/admit, and invalidated whenever the
+path system or projection changes.
 """
 
 from __future__ import annotations
@@ -156,6 +161,12 @@ class WeightedForestPool:
         # aligned with the stored forests through every compress/admit.
         self._trace = np.zeros(0, dtype=np.float64)
         self._trace_valid = np.zeros(0, dtype=bool)
+        # Mirrored cache for the JL-projected estimator rows: a (B, w, n)
+        # tensor of per-forest projected estimators plus a (B, n) diagonal
+        # matrix, lazily allocated on the first fold (the consumer owns w).
+        self._projected: Optional[np.ndarray] = None
+        self._projected_diag: Optional[np.ndarray] = None
+        self._projected_valid = np.zeros(0, dtype=bool)
         self._dead_drops = 0
 
     # -------------------------------------------------------------- inventory
@@ -210,6 +221,55 @@ class WeightedForestPool:
         """Drop every cached estimator value (path system changed)."""
         self._trace_valid[:] = False
         self._trace[:] = 0.0
+
+    @property
+    def projected_valid(self) -> np.ndarray:
+        """``(B,)`` mask: which forests have cached projected rows."""
+        return self._projected_valid
+
+    @property
+    def projected(self) -> np.ndarray:
+        """``(B, w, n)`` cached per-forest projected estimator tensors."""
+        if self._projected is None:
+            raise InvalidParameterError("no projected rows cached yet")
+        return self._projected
+
+    @property
+    def projected_diag(self) -> np.ndarray:
+        """``(B, n)`` cached per-forest diagonal estimator rows."""
+        if self._projected_diag is None:
+            raise InvalidParameterError("no projected rows cached yet")
+        return self._projected_diag
+
+    def set_projected(self, rows, projected, diag) -> None:
+        """Record computed projected/diagonal rows for the given forests.
+
+        ``projected`` is ``(k, w, n)`` and ``diag`` ``(k, n)`` for ``k``
+        rows.  The backing tensors are allocated lazily from the given
+        shapes (and reallocated — invalidating everything else — if the
+        consumer's projection width or node count changed).
+        """
+        projected = np.asarray(projected, dtype=np.float64)
+        diag = np.asarray(diag, dtype=np.float64)
+        if projected.ndim != 3 or diag.ndim != 2:
+            raise InvalidParameterError(
+                "projected rows must be (k, w, n) and diagonals (k, n)"
+            )
+        shape = (self.size,) + projected.shape[1:]
+        if self._projected is None or self._projected.shape != shape:
+            self._projected = np.zeros(shape, dtype=np.float64)
+            self._projected_diag = np.zeros((self.size, diag.shape[1]),
+                                            dtype=np.float64)
+            self._projected_valid = np.zeros(self.size, dtype=bool)
+        self._projected[rows] = projected
+        self._projected_diag[rows] = diag
+        self._projected_valid[rows] = True
+
+    def invalidate_projected(self) -> None:
+        """Drop every cached projected row (path system or JL changed)."""
+        self._projected_valid[:] = False
+        self._projected = None
+        self._projected_diag = None
 
     def ess(self) -> float:
         """Effective sample size: ``min(Kish, fidelity mass)``.
@@ -323,6 +383,9 @@ class WeightedForestPool:
         picks = rng.choice(neighbours.size, size=self.size, p=probabilities)
         extended = self.size
         self._batch = self._batch.with_leaf(neighbours[picks])
+        # The node count changed, so any cached projected rows span the old
+        # id space (and the consumer's projection must be redrawn anyway).
+        self.invalidate_projected()
         self.apply_addition(stale_probability)
         return extended
 
@@ -344,6 +407,9 @@ class WeightedForestPool:
         self._log_weights = np.zeros(0, dtype=np.float64)
         self._trace = np.zeros(0, dtype=np.float64)
         self._trace_valid = np.zeros(0, dtype=bool)
+        self._projected = None
+        self._projected_diag = None
+        self._projected_valid = np.zeros(0, dtype=bool)
         return dropped
 
     # --------------------------------------------------------------- refresh
@@ -392,6 +458,9 @@ class WeightedForestPool:
             self._log_weights = np.zeros(fresh.batch_size, dtype=np.float64)
             self._trace = np.zeros(fresh.batch_size, dtype=np.float64)
             self._trace_valid = np.zeros(fresh.batch_size, dtype=bool)
+            self._projected = None
+            self._projected_diag = None
+            self._projected_valid = np.zeros(fresh.batch_size, dtype=bool)
         else:
             self._batch = ForestBatch.concatenate([self._batch, fresh])
             self._log_weights = np.concatenate(
@@ -403,6 +472,18 @@ class WeightedForestPool:
             self._trace_valid = np.concatenate(
                 [self._trace_valid, np.zeros(fresh.batch_size, dtype=bool)]
             )
+            self._projected_valid = np.concatenate(
+                [self._projected_valid, np.zeros(fresh.batch_size, dtype=bool)]
+            )
+            if self._projected is not None:
+                pad = np.zeros((fresh.batch_size,) + self._projected.shape[1:])
+                self._projected = np.concatenate([self._projected, pad])
+                diag_pad = np.zeros(
+                    (fresh.batch_size, self._projected_diag.shape[1])
+                )
+                self._projected_diag = np.concatenate(
+                    [self._projected_diag, diag_pad]
+                )
         overflow = self.size - self.capacity
         if overflow > 0:
             # Keep the `capacity` highest-weight forests (stable towards the
@@ -425,6 +506,10 @@ class WeightedForestPool:
         self._log_weights = self._log_weights[keep]
         self._trace = self._trace[keep]
         self._trace_valid = self._trace_valid[keep]
+        self._projected_valid = self._projected_valid[keep]
+        if self._projected is not None:
+            self._projected = self._projected[keep]
+            self._projected_diag = self._projected_diag[keep]
 
     def _drop_dead(self) -> int:
         """Drop numerically dead forests; returns the surviving count."""

@@ -129,9 +129,13 @@ class AsyncCFCMService:
     coalesce_limit:
         Maximum updates applied per writer wakeup, i.e. the largest
         rank-``t`` batch a single evaluation will fold in.
+    backend:
+        Resistance backend spec for the engine's exact evaluation path
+        (``"dense"``, ``"sparse"`` or ``"auto"``); ``None`` keeps the
+        engine default.
     engine_kwargs:
         Extra :class:`repro.dynamic.DynamicCFCM` options (``pool_size``,
-        ``refresh_interval``, ...).
+        ``refresh_interval``, ``backend_options``, ...).
     """
 
     def __init__(
@@ -143,8 +147,11 @@ class AsyncCFCMService:
         process_workers: int = 0,
         queue_limit: int = 1024,
         coalesce_limit: int = 64,
+        backend: Optional[str] = None,
         **engine_kwargs,
     ):
+        if backend is not None:
+            engine_kwargs["backend"] = backend
         self.engine = DynamicCFCM(graph, seed=seed, config=config, **engine_kwargs)
         self.graph = self.engine.graph
         self.queue_limit = check_integer("queue_limit", queue_limit, minimum=1)

@@ -1,0 +1,400 @@
+"""Tests for the pluggable resistance backends (repro.linalg.backends).
+
+The contract under test: the dense and sparse backends must be
+interchangeable — identical churn journals replayed to the same version
+agree to tight tolerances — while the sparse engine never materialises the
+inverse and the dense engine stays bit-compatible with the historical
+update kernels.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.centrality import marginal_gains_all
+from repro.centrality.cfcc import grounded_trace
+from repro.centrality.estimators import SamplingConfig
+from repro.dynamic import (
+    DynamicCFCM,
+    DynamicGraph,
+    IncrementalResistance,
+    random_churn_journal,
+    random_update_journal,
+)
+from repro.exceptions import ConvergenceError, GraphError, InvalidParameterError
+from repro.linalg import (
+    DenseResistanceBackend,
+    PreconditionerCache,
+    SparseResistanceBackend,
+    build_preconditioner,
+    choose_backend,
+    make_resistance_backend,
+    solve_grounded,
+)
+from repro.linalg.backends import AUTO_SPARSE_NODES
+
+GROUP = [0, 1]
+
+
+def _pair(graph, **sparse_options):
+    """Dense and sparse trackers over the same DynamicGraph journal."""
+    dense = IncrementalResistance(graph, GROUP, refresh_interval=10**9,
+                                  backend="dense")
+    sparse = IncrementalResistance(graph, GROUP, refresh_interval=10**9,
+                                   backend="sparse",
+                                   backend_options=sparse_options or None)
+    return dense, sparse
+
+
+def _assert_close(dense, sparse, rtol=1e-6):
+    assert sparse.synced_version == dense.synced_version
+    np.testing.assert_allclose(sparse.diagonal(mode="exact"),
+                               dense.diagonal(), rtol=rtol, atol=1e-12)
+    assert sparse.trace() == pytest.approx(dense.trace(), rel=rtol)
+
+
+class TestDenseSparseParity:
+    def test_edge_churn_journal_agrees(self, small_ba):
+        graph = DynamicGraph(small_ba)
+        dense, sparse = _pair(graph)
+        rng = np.random.default_rng(7)
+        for _ in range(6):
+            random_update_journal(graph, 8, rng)
+            _assert_close(dense.sync(), sparse.sync())
+        # Sparse never refactorised: the whole journal was absorbed as
+        # low-rank corrections against the original factor.
+        assert sparse.stats.refreshes == 0
+        assert sparse.backend.correction_rank > 0
+
+    def test_node_churn_journal_agrees(self, small_ba):
+        graph = DynamicGraph(small_ba)
+        dense, sparse = _pair(graph)
+        rng = np.random.default_rng(11)
+        for _ in range(5):
+            random_churn_journal(graph, 6, rng, node_probability=0.4,
+                                 protected=GROUP)
+            _assert_close(dense.sync(), sparse.sync())
+        # Node events refactorise the sparse backend (no incremental
+        # grow/downdate there) while the dense one grows/downdates in place.
+        assert sparse.stats.refreshes > 0
+
+    def test_compaction_replay_agrees(self, small_ba):
+        graph = DynamicGraph(small_ba)
+        dense, sparse = _pair(graph)
+        rng = np.random.default_rng(13)
+        random_churn_journal(graph, 10, rng, node_probability=0.3,
+                             protected=GROUP)
+        graph.compact(graph.version)
+        random_update_journal(graph, 4, rng)
+        _assert_close(dense.sync(), sparse.sync())
+
+    def test_long_journal_hits_rank_cap(self, small_ba):
+        graph = DynamicGraph(small_ba)
+        sparse = IncrementalResistance(graph, GROUP, refresh_interval=10**9,
+                                       backend="sparse",
+                                       backend_options={"max_rank": 8})
+        rng = np.random.default_rng(17)
+        for _ in range(4):
+            random_update_journal(graph, 6, rng)
+            sparse.sync()
+        # 6-event bursts against an 8-update budget: every other burst
+        # overflows into a (cheap) refactorisation rather than raising.
+        assert sparse.stats.refreshes > 0
+        assert sparse.backend.correction_rank <= 8
+        expected = grounded_trace(graph.snapshot(), graph.compact_nodes(GROUP))
+        assert sparse.trace() == pytest.approx(expected, rel=1e-8)
+
+    def test_weighted_edges_agree(self, small_ba):
+        graph = DynamicGraph(small_ba)
+        dense, sparse = _pair(graph)
+        rng = np.random.default_rng(19)
+        edges = [tuple(int(x) for x in e) for e in small_ba.edge_array()[:6]]
+        for u, v in edges:
+            graph.update_weight(u, v, float(rng.uniform(0.5, 3.0)))
+        _assert_close(dense.sync(), sparse.sync())
+
+
+class TestSketchedDiagonal:
+    def test_sketch_tracks_exact_within_tolerance(self, medium_ba):
+        graph = DynamicGraph(medium_ba)
+        sparse = IncrementalResistance(
+            graph, GROUP, refresh_interval=10**9, backend="sparse",
+            backend_options={"diag_mode": "sketch", "probes": 256, "seed": 5})
+        exact = grounded_trace(graph.snapshot(), graph.compact_nodes(GROUP))
+        assert sparse.trace() == pytest.approx(exact, rel=0.1)
+        # The escape hatch stays exact regardless of the default policy.
+        dense = IncrementalResistance(graph, GROUP, backend="dense")
+        np.testing.assert_allclose(sparse.diagonal(mode="exact"),
+                                   dense.diagonal(), rtol=1e-8)
+
+    def test_sketch_is_deterministic_and_cached(self, small_ba):
+        graph = DynamicGraph(small_ba)
+        backend = SparseResistanceBackend(diag_mode="sketch", probes=32, seed=9)
+        tracker = IncrementalResistance(graph, GROUP, backend=backend)
+        first = tracker.diagonal()
+        np.testing.assert_array_equal(first, tracker.diagonal())
+        graph.add_edge(5, 25)
+        second = tracker.diagonal()
+        assert not np.array_equal(first, second)
+
+
+class TestCGFallback:
+    def test_explicit_cg_solver_matches_dense(self, small_ba):
+        graph = DynamicGraph(small_ba)
+        dense = IncrementalResistance(graph, GROUP, backend="dense")
+        cg = IncrementalResistance(
+            graph, GROUP, refresh_interval=10**9, backend="sparse",
+            backend_options={"solver": "cg", "rtol": 1e-12})
+        assert cg.backend.solver_used == "cg"
+        rng = np.random.default_rng(23)
+        random_update_journal(graph, 5, rng)
+        dense.sync()
+        cg.sync()
+        np.testing.assert_allclose(cg.diagonal(mode="exact"),
+                                   dense.diagonal(), rtol=1e-6)
+
+    def test_auto_falls_back_when_splu_unavailable(self, small_ba, monkeypatch):
+        import repro.linalg.backends as backends_module
+
+        def broken_splu(*args, **kwargs):
+            raise RuntimeError("factorisation unavailable")
+
+        monkeypatch.setattr(backends_module.spla, "splu", broken_splu)
+        graph = DynamicGraph(small_ba)
+        tracker = IncrementalResistance(graph, GROUP, backend="sparse")
+        assert tracker.backend.solver_used == "cg"
+        expected = grounded_trace(graph.snapshot(), graph.compact_nodes(GROUP))
+        assert tracker.trace() == pytest.approx(expected, rel=1e-6)
+
+    def test_splu_only_solver_surfaces_the_failure(self, small_ba, monkeypatch):
+        import repro.linalg.backends as backends_module
+
+        def broken_splu(*args, **kwargs):
+            raise RuntimeError("factorisation unavailable")
+
+        monkeypatch.setattr(backends_module.spla, "splu", broken_splu)
+        graph = DynamicGraph(small_ba)
+        with pytest.raises(InvalidParameterError, match="factorisation failed"):
+            IncrementalResistance(graph, GROUP, backend="sparse",
+                                  backend_options={"solver": "splu"})
+
+
+class TestSingularUpdates:
+    def test_singular_triple_raises_without_committing(self, star6):
+        # Star grounded at the hub: the kept block is the identity, so
+        # zeroing one leaf's degree makes it exactly singular.
+        graph = DynamicGraph(star6)
+        backend = SparseResistanceBackend()
+        lap = sp.csc_matrix(graph.laplacian_dense()[1:, 1:])
+        backend.factorize(lap)
+        before_trace = backend.trace(mode="exact")
+        before_epoch = backend.epoch
+        with pytest.raises(InvalidParameterError, match="singular"):
+            backend.apply_triples([(2, None, -1.0)])
+        assert backend.epoch == before_epoch
+        assert backend.correction_rank == 0
+        assert backend.trace(mode="exact") == pytest.approx(before_trace)
+
+    @pytest.mark.parametrize("backend", ["dense", "sparse"])
+    def test_near_singular_reweight_falls_back_to_refresh(self, star6, backend):
+        graph = DynamicGraph(star6)
+        tracker = IncrementalResistance(graph, [0], refresh_interval=10**9,
+                                        backend=backend)
+        tracker.sync()
+        graph.update_weight(0, 3, 1e-13)
+        tracker.sync()
+        assert tracker.stats.singular_refreshes >= 1
+        # laplacian_dense (not the snapshot) keeps the 1e-13 weight.
+        reference = np.linalg.inv(graph.laplacian_dense()[1:, 1:])
+        np.testing.assert_allclose(tracker.diagonal(mode="exact"),
+                                   np.diag(reference), rtol=1e-6)
+
+    def test_removing_grounded_node_raises_graph_error(self, small_ba):
+        graph = DynamicGraph(small_ba)
+        tracker = IncrementalResistance(graph, [7], backend="sparse")
+        tracker.sync()
+        graph.remove_node(7)
+        with pytest.raises(GraphError, match="grounded"):
+            tracker.sync()
+
+
+class TestLazyColumns:
+    def test_columns_cached_per_epoch(self, small_ba):
+        graph = DynamicGraph(small_ba)
+        dense = IncrementalResistance(graph, GROUP, backend="dense")
+        sparse = IncrementalResistance(graph, GROUP, backend="sparse")
+        node = 17
+        column = sparse.resistance_column(node)
+        np.testing.assert_allclose(column, dense.resistance_column(node),
+                                   rtol=1e-8)
+        assert sparse.backend.column_solves == 1
+        sparse.resistance_column(node)
+        assert sparse.backend.column_solves == 1  # cache hit
+        graph.add_edge(3, 40)
+        sparse.resistance_column(node)
+        assert sparse.backend.column_solves == 2  # epoch bump invalidated
+        # The dense backend serves columns as array reads, never solves.
+        dense.resistance_column(node)
+        assert dense.backend.column_solves == 0
+
+    def test_grounded_column_is_zero(self, small_ba):
+        graph = DynamicGraph(small_ba)
+        tracker = IncrementalResistance(graph, GROUP, backend="sparse")
+        assert not tracker.resistance_column(GROUP[0]).any()
+
+    def test_sparse_backend_refuses_dense_inverse(self, small_ba):
+        graph = DynamicGraph(small_ba)
+        tracker = IncrementalResistance(graph, GROUP, backend="sparse")
+        with pytest.raises(InvalidParameterError, match="materialise"):
+            tracker.inverse
+
+
+class TestBackendSelection:
+    def test_choose_backend_policy(self):
+        assert choose_backend(100, 300) == "dense"
+        assert choose_backend(AUTO_SPARSE_NODES, 3 * AUTO_SPARSE_NODES) == "sparse"
+        # Dense graphs stay on the dense backend even at scale (LU fill-in).
+        assert choose_backend(5000, 5000 * 40) == "dense"
+
+    def test_make_resistance_backend_specs(self):
+        assert make_resistance_backend("dense").name == "dense"
+        assert make_resistance_backend("auto", n=100, m=300).name == "dense"
+        auto = make_resistance_backend("auto", n=4000, m=12000)
+        assert auto.name == "sparse"
+        sparse = make_resistance_backend("sparse", options={"probes": 8})
+        assert sparse.probes == 8
+        instance = DenseResistanceBackend()
+        assert make_resistance_backend(instance) is instance
+
+    def test_make_resistance_backend_rejections(self):
+        with pytest.raises(InvalidParameterError):
+            make_resistance_backend("banana")
+        with pytest.raises(InvalidParameterError):
+            make_resistance_backend("dense", options={"probes": 8})
+        with pytest.raises(InvalidParameterError):
+            make_resistance_backend(DenseResistanceBackend(),
+                                    options={"probes": 8})
+
+    def test_query_before_factorize_raises(self):
+        with pytest.raises(InvalidParameterError, match="factorize"):
+            SparseResistanceBackend().trace()
+        with pytest.raises(InvalidParameterError, match="factorize"):
+            DenseResistanceBackend().solve_many(np.ones((3, 1)))
+
+    def test_sparse_constructor_validation(self):
+        with pytest.raises(InvalidParameterError):
+            SparseResistanceBackend(solver="qr")
+        with pytest.raises(InvalidParameterError):
+            SparseResistanceBackend(diag_mode="guess")
+        with pytest.raises(InvalidParameterError):
+            SparseResistanceBackend(probes=0)
+        with pytest.raises(InvalidParameterError):
+            SparseResistanceBackend(max_rank=0)
+
+
+class TestPreconditionerPlumbing:
+    def test_cache_reuses_builds_per_version(self, small_ba):
+        graph = DynamicGraph(small_ba)
+        lap = sp.csc_matrix(graph.laplacian_dense()[2:, 2:])
+        cache = PreconditionerCache(kind="jacobi")
+        first = cache.get(lap, version=1)
+        assert cache.get(lap, version=1) is first
+        assert (cache.builds, cache.hits) == (1, 1)
+        second = cache.get(lap, version=2)
+        assert second is not first
+        assert cache.builds == 2
+        cache.invalidate()
+        cache.get(lap, version=2)
+        assert cache.builds == 3
+
+    def test_build_preconditioner_kinds(self, small_ba):
+        lap = sp.csc_matrix(DynamicGraph(small_ba).laplacian_dense()[2:, 2:])
+        for kind in ("jacobi", "ilu"):
+            operator = build_preconditioner(lap, kind=kind)
+            applied = operator.matvec(np.ones(lap.shape[0]))
+            assert np.all(np.isfinite(applied))
+        with pytest.raises(InvalidParameterError):
+            build_preconditioner(lap, kind="amg")
+
+    def test_solve_grounded_tolerances(self, small_ba):
+        lap = DynamicGraph(small_ba).laplacian_dense()[2:, 2:]
+        rhs = np.ones(lap.shape[0])
+        direct = np.linalg.solve(lap, rhs)
+        via_cg = solve_grounded(sp.csc_matrix(lap), rhs, method="cg",
+                                rtol=1e-12)
+        np.testing.assert_allclose(via_cg, direct, rtol=1e-6)
+        with pytest.raises(ConvergenceError):
+            solve_grounded(sp.csc_matrix(lap), rhs, method="cg", maxiter=1)
+
+
+class TestEngineWiring:
+    def test_engine_exact_parity_across_backends(self, small_ba):
+        results = {}
+        for backend in ("dense", "sparse"):
+            graph = DynamicGraph(small_ba)
+            engine = DynamicCFCM(graph, seed=0, backend=backend)
+            rng = np.random.default_rng(29)
+            values = [engine.evaluate_exact(GROUP)]
+            for _ in range(3):
+                random_update_journal(graph, 6, rng)
+                values.append(engine.evaluate_exact(GROUP))
+            results[backend] = values
+        np.testing.assert_allclose(results["sparse"], results["dense"],
+                                   rtol=1e-6)
+
+    def test_engine_rejects_backend_instances(self, small_ba):
+        with pytest.raises(InvalidParameterError, match="spec string"):
+            DynamicCFCM(DynamicGraph(small_ba),
+                        backend=SparseResistanceBackend())
+
+    def test_engine_rejects_unknown_backend(self, small_ba):
+        with pytest.raises(InvalidParameterError):
+            DynamicCFCM(DynamicGraph(small_ba), backend="banana")
+
+
+class TestForestDeltaPool:
+    def test_gains_track_exact_marginals(self, small_ba):
+        config = SamplingConfig(eps=0.2, max_samples=600, max_jl_dimension=128)
+        engine = DynamicCFCM(DynamicGraph(small_ba), seed=3, config=config,
+                             pool_size=600)
+        group = [int(np.argmax(small_ba.degrees))]
+        gains = engine.evaluate_forest_delta(group)
+        exact = marginal_gains_all(small_ba, group)
+        assert set(gains) == set(exact)
+        relative = [abs(gains[u] - exact[u]) / exact[u] for u in exact]
+        assert np.mean(relative) < 0.35
+        best_exact = max(exact, key=exact.get)
+        ranked = sorted(gains, key=gains.get, reverse=True)
+        assert best_exact in ranked[:10]
+
+    def test_repeat_call_folds_nothing_new(self, small_ba):
+        config = SamplingConfig(eps=0.3, max_samples=64)
+        engine = DynamicCFCM(DynamicGraph(small_ba), seed=5, config=config)
+        first = engine.evaluate_forest_delta(GROUP)
+        folded = engine.stats.forests_folded
+        assert folded > 0
+        second = engine.evaluate_forest_delta(GROUP)
+        assert engine.stats.forests_folded == folded  # cache hit, no refold
+        assert second == first
+
+    def test_churn_folds_only_fresh_forests(self, small_ba):
+        config = SamplingConfig(eps=0.3, max_samples=64)
+        graph = DynamicGraph(small_ba)
+        engine = DynamicCFCM(graph, seed=7, config=config)
+        engine.evaluate_forest_delta(GROUP)
+        folded = engine.stats.forests_folded
+        pool_size = engine.stats.forests_kept
+        graph.add_edge(10, 50)
+        gains = engine.evaluate_forest_delta(GROUP)
+        assert set(gains) == set(range(small_ba.n)) - set(GROUP)
+        # Surviving forests keep their cached projected rows: the second
+        # fold only covers the fresh draws, never the whole pool again.
+        newly_folded = engine.stats.forests_folded - folded
+        assert newly_folded < max(pool_size, engine.stats.forests_kept)
+
+    def test_weighted_graph_rejected(self, small_ba):
+        graph = DynamicGraph(small_ba)
+        graph.update_weight(*[int(x) for x in small_ba.edge_array()[0]], 2.5)
+        engine = DynamicCFCM(graph, seed=1)
+        with pytest.raises(InvalidParameterError, match="unit"):
+            engine.evaluate_forest_delta(GROUP)

@@ -427,12 +427,12 @@ class TestBatchedSyncEquivalence:
         tracker = IncrementalResistance(graph, [0], refresh_interval=1000)
         random_update_journal(graph, 8, np.random.default_rng(4))
 
-        import repro.dynamic.resistance as resistance_module
+        import repro.linalg.backends as backends_module
 
         def singular(*args, **kwargs):
             raise InvalidParameterError("singular block update (forced)")
 
-        monkeypatch.setattr(resistance_module,
+        monkeypatch.setattr(backends_module,
                             "grounded_inverse_block_update", singular)
         assert tracker.trace() == pytest.approx(
             fresh_grounded_trace(graph, [0]), rel=1e-9
