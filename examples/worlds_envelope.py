@@ -1,0 +1,189 @@
+"""Map the serving envelope: a 12-world sweep with annotated breakpoints.
+
+Runs a fixed cross of worlds (topology family x churn regime x backend x
+mode) through :func:`repro.worlds.sweep` and prints the
+accuracy/latency/ESS envelope table, then annotates the two degradation
+regimes documented in ``docs/worlds.md``:
+
+1. **Adversarial deletions at high churn** — deletions are the only churn
+   kind that irrecoverably destroys pooled forest mass (``forests_dropped``
+   stays exactly 0 under ``bursty_joins`` on the same family), and the
+   per-event drop rate tracks an edge's spanning-forest mass share
+   (roughly ``n/m``), so sustained deletion churn pushes pooled reuse
+   toward flush-and-redraw cost — unbiased, but the reuse win is gone.
+2. **Reweight storms (write-heavy expander)** — mid-storm the graph is
+   weighted, so the forest path is unavailable by contract and the world
+   serves exact-only until the storm passes; restoring every perturbed
+   edge to weight 1 cancels the density ratios exactly, which the
+   annotation verifies by re-running the storm world's seed with no churn
+   and printing the forest-value drift (zero).
+
+Usage::
+
+    PYTHONPATH=src python examples/worlds_envelope.py
+    PYTHONPATH=src python examples/worlds_envelope.py --events 12 --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.report import format_table
+from repro.worlds import (
+    ChurnSpec,
+    EstimatorSpec,
+    TrafficSpec,
+    WorldSpec,
+    gate_rows,
+    run_world,
+    sweep,
+)
+
+
+def envelope_specs(events: int, quick: bool) -> list:
+    """The fixed 12-world cross (sizes shrink under ``--quick``)."""
+    n_small = 48 if quick else 72
+    n_large = 64 if quick else 96
+    estimator = EstimatorSpec(pool_size=16, max_samples=32,
+                              forest_tolerance=0.6)
+    hostile = EstimatorSpec(pool_size=16, max_samples=32,
+                            forest_tolerance=0.8)
+
+    def world(topology, regime, backend, *, n=n_small, intensity=1.0,
+              mix="mixed", mode="engine", seed=0, est=estimator):
+        return WorldSpec(
+            topology=topology, n=n,
+            churn=ChurnSpec(regime=regime, events=events,
+                            intensity=intensity),
+            traffic=TrafficSpec(mix=mix), backend=backend,
+            estimator=est, mode=mode, seed=seed,
+        )
+
+    return [
+        world("power_law", "none", "dense", seed=21, mix="read_heavy"),
+        world("power_law", "bursty_joins", "dense", seed=22),
+        # Degradation regime 1: deletions (mass destruction) vs the
+        # bursty_joins world above (forests_dropped stays 0).
+        world("power_law", "adversarial_deletions", "dense", seed=23,
+              intensity=2.0, est=hostile),
+        world("lattice", "adversarial_deletions", "dense", n=n_large,
+              seed=24, intensity=2.0),
+        world("small_world", "bursty_joins", "sparse", seed=25),
+        world("small_world", "mixed", "sparse", seed=26),
+        # Degradation regime 2: reweight storms — exact-only mid-storm,
+        # exact ratio cancellation after restore.
+        world("expander", "reweight_storm", "dense", seed=27,
+              intensity=1.5, mix="write_heavy", est=hostile),
+        world("lattice", "reweight_storm", "dense", n=n_large, seed=28,
+              intensity=1.5, mix="write_heavy"),
+        world("planted_community", "adversarial_deletions", "sparse",
+              n=n_large, seed=29),
+        world("k_regular", "mixed", "dense", seed=30),
+        world("ring", "mixed", "auto", n=max(24, n_small // 2), seed=31),
+        world("power_law", "mixed", "sparse", seed=32, mode="service"),
+    ]
+
+
+def annotate_degradation(rows: list) -> None:
+    """Print the two documented breakpoints with this run's numbers."""
+
+    def find(topology, regime):
+        for row in rows:
+            if row["topology"] == topology and row["churn"] == regime:
+                return row
+        return None
+
+    print("Degradation regime 1: adversarial deletions at high churn")
+    hostile = find("power_law", "adversarial_deletions")
+    friendly = find("power_law", "bursty_joins")
+    flat = find("lattice", "adversarial_deletions")
+    if hostile and friendly and flat:
+        print(f"  power_law deletions: forests_dropped={hostile['forests_dropped']} "
+              f"(pool capacity {hostile['pool_capacity']:.0f}) "
+              f"forest_err={hostile['forest_rel_error']:.3f}")
+        print(f"  power_law joins:     forests_dropped={friendly['forests_dropped']} "
+              f"— joins leaf-extend, never destroy pooled mass")
+        print(f"  lattice deletions:   forests_dropped={flat['forests_dropped']} "
+              f"— drop rate tracks an edge's forest-mass share (~n/m), "
+              f"worst on sparse graphs")
+        print("  deletions are the only churn kind that irrecoverably kills "
+              "stored forests; under sustained deletion churn pooled reuse "
+              "degrades toward flush-and-redraw cost (unbiased, but the "
+              "reuse benefit is gone).")
+    print()
+    print("Degradation regime 2: reweight storms (write-heavy expander)")
+    storm = find("expander", "reweight_storm")
+    if storm:
+        print(f"  expander storm: forests_reweighted={storm['forests_reweighted']} "
+              f"events={storm['events_applied']} "
+              f"p95_exact={storm['p95_exact_ms']:.2f}ms "
+              f"forest_err={storm['forest_rel_error']:.3f}")
+        # The documented invariant: restoring every perturbed edge to
+        # weight 1 cancels the density ratios exactly, so the post-storm
+        # pooled estimate matches a never-stormed run of the same seed.
+        calm = run_world(storm_control_spec(storm))
+        drift = abs(storm["forest_value"] - calm["forest_value"])
+        print(f"  same seed, no storm: forest_value drift = {drift:.2e} "
+              f"(exact density-ratio cancellation)")
+        print("  the breakpoint is availability mid-storm: with non-unit "
+              "weights the forest path is unavailable by contract, so a "
+              "write-heavy storm serves exact-only (a backend solve per "
+              "read) until the storm passes; the cost is latency and "
+              "churned pool mass, never residual bias.")
+
+
+def storm_control_spec(row: dict) -> WorldSpec:
+    """The never-stormed control world matching a storm row's seed/shape.
+
+    Reweight storms never add or remove nodes, so the row's settled ``n``
+    is the spec's ``n``; the estimator knobs mirror :func:`envelope_specs`.
+    """
+    return WorldSpec(
+        topology=row["topology"], n=row["n"],
+        churn=ChurnSpec(regime="none", events=0),
+        traffic=TrafficSpec(mix=row["traffic"]), backend=row["backend"],
+        estimator=EstimatorSpec(pool_size=int(row["pool_capacity"]),
+                                max_samples=32,
+                                forest_tolerance=row["forest_tolerance"]),
+        seed=row["seed"],
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Serving-envelope study over a fixed 12-world cross")
+    parser.add_argument("--events", type=int, default=24,
+                        help="churn events per world (default: 24)")
+    parser.add_argument("--quick", action="store_true",
+                        help="shrink world sizes for a fast run")
+    args = parser.parse_args(argv)
+
+    specs = envelope_specs(events=args.events, quick=args.quick)
+    print(f"Worlds envelope: {len(specs)} worlds, {args.events} churn "
+          "events each")
+    print()
+    rows = sweep(specs, verbose=False)
+
+    columns = ("world", "forest_rel_error", "p95_exact_ms", "p95_forest_ms",
+               "min_pool_ess", "ess_topups", "forests_dropped",
+               "forests_reweighted", "accuracy_ok", "ess_ok")
+    print(format_table(
+        columns,
+        [[row.get(column) for column in columns] for row in rows],
+        float_format="{:.4g}",
+    ))
+    print()
+    annotate_degradation(rows)
+    print()
+    failures = gate_rows(rows)
+    if failures:
+        print(f"{len(failures)} worlds outside the documented envelope:")
+        for failure in failures:
+            print(f"  {failure}")
+    else:
+        print("all worlds inside the documented envelope")
+    return 0
+
+
+if __name__ == "__main__":
+    main()

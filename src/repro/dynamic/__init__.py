@@ -30,6 +30,7 @@ from repro.dynamic.workload import (
     TrafficReport,
     apply_event,
     apply_random_node_event,
+    apply_random_reweight,
     apply_random_update,
     poisson_traffic,
     random_churn_journal,
@@ -48,6 +49,7 @@ __all__ = [
     "TrafficReport",
     "apply_event",
     "apply_random_node_event",
+    "apply_random_reweight",
     "apply_random_update",
     "poisson_traffic",
     "random_churn_journal",

@@ -123,6 +123,34 @@ def apply_random_node_event(graph: DynamicGraph, rng: RandomState = None,
     return None
 
 
+def apply_random_reweight(graph: DynamicGraph, rng: RandomState = None,
+                          low: float = 0.25, high: float = 4.0,
+                          max_attempts: int = 16) -> Optional[GraphUpdate]:
+    """Reweight one random present edge by a log-uniform factor; returns the event.
+
+    The new weight is ``old * exp(U(log low, log high))``, so up- and
+    down-weightings are symmetric in log space (a storm of these events is
+    mean-preserving).  Draws that land exactly on the current weight are
+    retried; ``None`` when ``max_attempts`` draws fail (e.g. a single-edge
+    graph with ``low == high == 1``).
+    """
+    rng = as_rng(rng)
+    if not (0.0 < low <= high):
+        raise InvalidParameterError(
+            f"reweight factors need 0 < low <= high, got [{low}, {high}]"
+        )
+    edges = list(graph.edges())
+    if not edges:
+        return None
+    for _ in range(int(max_attempts)):
+        u, v = edges[int(rng.integers(0, len(edges)))]
+        factor = float(np.exp(rng.uniform(np.log(low), np.log(high))))
+        event = graph.update_weight(u, v, graph.weight(u, v) * factor)
+        if event is not None:
+            return event
+    return None
+
+
 def random_update_journal(graph: DynamicGraph, count: int,
                           rng: RandomState = None,
                           add_probability: float = 0.5) -> List[GraphUpdate]:

@@ -14,6 +14,8 @@ Module          Paper artefact
 ``figure5``     Fig. 5 — solution quality relative to Exact vs eps
 ``dynamic``     (beyond the paper) incremental engine vs from-scratch
                 recomputation across update/query ratios
+``worlds``      (beyond the paper) scenario sweep over sampled topology x
+                churn x traffic x backend worlds with accuracy/ESS gates
 ==============  ==========================================================
 
 Run them from the command line::
@@ -39,6 +41,7 @@ from repro.experiments.figure2 import run_figure2
 from repro.experiments.figure3 import run_figure3
 from repro.experiments.figure4 import run_figure4
 from repro.experiments.figure5 import run_figure5
+from repro.experiments.worlds import run_worlds
 
 __all__ = [
     "experiment_suite",
@@ -52,4 +55,5 @@ __all__ = [
     "run_figure4",
     "run_figure5",
     "run_dynamic",
+    "run_worlds",
 ]

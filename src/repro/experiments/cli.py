@@ -7,13 +7,16 @@ Usage::
     python -m repro.experiments fig2 --eps 0.2
     python -m repro.experiments dynamic --quick
     python -m repro.experiments serve --smoke
+    python -m repro.experiments worlds --smoke
     python -m repro.experiments all --quick
 
 ``all`` regenerates the paper artefacts (table2 and the five figures); the
-``dynamic`` workload study characterises the incremental engine and the
+``dynamic`` workload study characterises the incremental engine, the
 ``serve`` study drives the async query service (``--smoke`` additionally
-gates on async/sync equivalence and exits non-zero on a mismatch); both are
-run explicitly.
+gates on async/sync equivalence and exits non-zero on a mismatch) and the
+``worlds`` study sweeps sampled serving scenarios (``--smoke`` runs the
+canonical CI cross and gates on accuracy tolerance and pool-ESS floors);
+all three are run explicitly.
 """
 
 from __future__ import annotations
@@ -29,9 +32,10 @@ from repro.experiments.figure4 import run_figure4
 from repro.experiments.figure5 import run_figure5
 from repro.experiments.service import run_service
 from repro.experiments.table2 import run_table2
+from repro.experiments.worlds import run_worlds
 
 EXPERIMENTS = ("table2", "fig1", "fig2", "fig3", "fig4", "fig5", "dynamic",
-               "serve", "all")
+               "serve", "worlds", "all")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -71,8 +75,18 @@ def build_parser() -> argparse.ArgumentParser:
                              "studies: dense explicit-inverse Woodbury, "
                              "sparse solver-backed, or auto by graph size")
     parser.add_argument("--smoke", action="store_true",
-                        help="serve study: shrink the workload and gate on "
-                             "async/sync equivalence (non-zero exit on mismatch)")
+                        help="serve: shrink the workload and gate on async/sync "
+                             "equivalence; worlds: run the canonical CI cross "
+                             "and gate on accuracy + ESS (non-zero exit)")
+    parser.add_argument("--count", type=int, default=8,
+                        help="worlds: how many worlds to sample (default: 8)")
+    parser.add_argument("--events", type=int, default=24,
+                        help="worlds: churn-event budget per sampled world")
+    parser.add_argument("--worlds", default=None, metavar="JSON",
+                        help="worlds: run explicit specs from this JSON file "
+                             "instead of sampling (a list of WorldSpec dicts)")
+    parser.add_argument("--output-csv", default=None,
+                        help="worlds: also write the sweep table as CSV")
     parser.add_argument("--quick", action="store_true",
                         help="shrink sweeps for a fast smoke run")
     parser.add_argument("--output-json", default=None,
@@ -132,4 +146,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                           metrics_prefix=args.metrics_prefix,
                           trace_output=args.trace_out)
         return 1 if row["failures"] else 0
+    if name == "worlds":
+        result = run_worlds(count=args.count, events=args.events,
+                            seed=args.seed, smoke=args.smoke,
+                            quick=args.quick, worlds_file=args.worlds,
+                            output_json=args.output_json,
+                            output_csv=args.output_csv,
+                            metrics_prefix=args.metrics_prefix)
+        return 1 if result["failures"] else 0
     return 0

@@ -1,0 +1,95 @@
+"""Scenario-sweep study: map the serving envelope across sampled worlds.
+
+``python -m repro.experiments worlds`` runs :func:`repro.worlds.sweep` over
+either the canonical CI smoke cross (``--smoke``), a JSON file of explicit
+world specs (``--worlds``), or a :class:`repro.worlds.WorldSampler` draw
+(the default), then prints the accuracy/latency/ESS table and applies the
+sweep gates.  ``--smoke`` makes the gates fatal: a world that misses its
+accuracy tolerance or ESS floor fails the run with a non-zero exit, which
+is what CI's bench-smoke job relies on.
+
+Latency percentiles and pool health in the table come from the
+:data:`repro.obs.REGISTRY` histograms and health gauges the engine already
+populates (``repro_engine_op_seconds``, ``repro_pool_ess``) — the sweep
+layer adds no timing of its own.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.experiments.report import format_table, write_obs_artifacts
+from repro.worlds import (
+    WorldSampler,
+    WorldSpec,
+    gate_rows,
+    smoke_specs,
+    sweep,
+    write_worlds_artifacts,
+)
+
+TABLE_COLUMNS = (
+    "world", "n", "events_applied", "forest_rel_error", "exact_rel_error",
+    "p95_exact_ms", "p95_forest_ms", "min_pool_ess", "accuracy_ok", "ess_ok",
+)
+
+
+def load_world_specs(path: str) -> List[WorldSpec]:
+    """Load a JSON file holding a list of :class:`WorldSpec` dicts."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if isinstance(payload, dict):
+        payload = payload.get("worlds", [])
+    return [WorldSpec.from_dict(entry) for entry in payload]
+
+
+def run_worlds(
+    count: int = 8,
+    events: int = 24,
+    seed: int = 0,
+    smoke: bool = False,
+    quick: bool = False,
+    worlds_file: Optional[str] = None,
+    output_json: Optional[str] = None,
+    output_csv: Optional[str] = None,
+    metrics_prefix: Optional[str] = None,
+) -> Dict[str, object]:
+    """Run the sweep and print the envelope table; returns rows + failures."""
+    if smoke:
+        specs = smoke_specs()
+        source = "smoke cross"
+    elif worlds_file is not None:
+        specs = load_world_specs(worlds_file)
+        source = worlds_file
+    else:
+        if quick:
+            count = min(count, 4)
+        sampler = WorldSampler(events=events, seed=seed)
+        specs = list(sampler.sample(count))
+        source = f"sampler(seed={seed})"
+
+    print(f"== worlds sweep: {len(specs)} worlds from {source} ==")
+    rows = sweep(specs, verbose=True)
+    failures = gate_rows(rows)
+
+    print()
+    print(format_table(
+        TABLE_COLUMNS,
+        [[row.get(column) for column in TABLE_COLUMNS] for row in rows],
+        float_format="{:.4g}",
+    ))
+    print()
+    if failures:
+        for failure in failures:
+            print(f"GATE FAILURE: {failure}")
+    else:
+        print(f"all {len(rows)} worlds within accuracy tolerance and "
+              "ESS floor")
+
+    write_worlds_artifacts(rows, json_path=output_json, csv_path=output_csv)
+    if metrics_prefix is not None:
+        # The registry still holds the last world's distributions (run_world
+        # resets it per world), so the obs artifacts snapshot that world.
+        write_obs_artifacts(metrics_prefix, label="worlds")
+    return {"rows": rows, "failures": failures}

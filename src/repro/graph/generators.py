@@ -235,8 +235,51 @@ def powerlaw_cluster(n: int, m: int, p: float, seed: RandomState = None) -> Grap
     return Graph(n, edges)
 
 
+def _repair_regular_matching(edge_set, conflicted, rng) -> bool:
+    """Resolve configuration-model collisions by random edge switches.
+
+    Each conflicted stub pair ``(u, v)`` (a self-loop or duplicate edge) is
+    rewired against a random existing edge ``(x, y)``: remove ``(x, y)``,
+    add ``(u, x)`` and ``(v, y)`` — a degree-preserving double-edge swap.
+    Returns ``False`` when a pair cannot be placed within the retry budget
+    (the caller then restarts from a fresh matching).
+    """
+    edges = list(edge_set)
+    for u, v in conflicted:
+        placed = False
+        for _ in range(200):
+            index = int(rng.integers(0, len(edges)))
+            existing = edges[index]
+            x, y = existing
+            if rng.random() < 0.5:
+                x, y = y, x
+            first = (min(u, x), max(u, x))
+            second = (min(v, y), max(v, y))
+            if (u == x or v == y or first == second
+                    or first in edge_set or second in edge_set):
+                continue
+            edge_set.remove(existing)
+            edge_set.add(first)
+            edge_set.add(second)
+            edges[index] = first
+            edges.append(second)
+            placed = True
+            break
+        if not placed:
+            return False
+    return True
+
+
 def random_regular(n: int, d: int, seed: RandomState = None) -> Graph:
-    """Random ``d``-regular graph via repeated configuration-model matching."""
+    """Random ``d``-regular graph via configuration-model matching.
+
+    Collisions (self-loops, duplicate edges) are repaired with
+    degree-preserving double-edge swaps instead of rejecting the whole
+    matching — whole-matching rejection succeeds with probability roughly
+    ``exp(-(d^2-1)/4)``, which is hopeless already at ``d = 6``.  Matchings
+    that happened to be simple are returned exactly as before (the repair
+    path draws no randomness for them).
+    """
     check_integer("n", n, minimum=2)
     check_integer("d", d, minimum=1, maximum=n - 1)
     if (n * d) % 2 != 0:
@@ -247,20 +290,69 @@ def random_regular(n: int, d: int, seed: RandomState = None) -> Graph:
         rng.shuffle(stubs)
         pairs = stubs.reshape(-1, 2)
         edge_set = set()
-        ok = True
+        conflicted = []
         for u, v in pairs:
             u, v = int(u), int(v)
             if u == v or (min(u, v), max(u, v)) in edge_set:
-                ok = False
-                break
-            edge_set.add((min(u, v), max(u, v)))
-        if ok:
-            graph = Graph(n, sorted(edge_set))
-            if is_connected(graph):
-                return graph
+                conflicted.append((u, v))
+            else:
+                edge_set.add((min(u, v), max(u, v)))
+        if conflicted and not _repair_regular_matching(edge_set, conflicted,
+                                                       rng):
+            continue
+        graph = Graph(n, sorted(edge_set))
+        if is_connected(graph):
+            return graph
     raise InvalidParameterError(
         f"failed to generate a connected random {d}-regular graph on {n} nodes"
     )
+
+
+def planted_partition(n: int, communities: int, p_in: float, p_out: float,
+                      seed: RandomState = None,
+                      ensure_connected: bool = True) -> Graph:
+    """Planted-partition (symmetric stochastic block model) graph.
+
+    ``n`` nodes are split into ``communities`` near-equal blocks; each
+    within-block pair is connected with probability ``p_in`` and each
+    cross-block pair with probability ``p_out``.  With ``p_in >> p_out`` the
+    result has planted community structure — sparse cuts between dense
+    blocks, the regime where current-flow distances diverge most from
+    shortest-path distances and where forest pools concentrate mass on the
+    few cut edges.
+
+    When ``ensure_connected`` is set (default) isolated blocks are stitched
+    together by one extra uniformly drawn cross-block edge per missing link
+    in a random spanning order, so the generator always returns a connected
+    graph on all ``n`` nodes.
+    """
+    check_integer("n", n, minimum=2)
+    check_integer("communities", communities, minimum=1, maximum=n)
+    check_probability("p_in", p_in, inclusive=True)
+    check_probability("p_out", p_out, inclusive=True)
+    rng = as_rng(seed)
+
+    block = np.arange(n) * communities // n  # near-equal contiguous blocks
+    rows, cols = np.triu_indices(n, k=1)
+    same = block[rows] == block[cols]
+    probability = np.where(same, p_in, p_out)
+    mask = rng.random(rows.size) < probability
+    edge_set = set(zip(rows[mask].tolist(), cols[mask].tolist()))
+    graph = Graph(n, sorted(edge_set))
+    if ensure_connected and not is_connected(graph):
+        # Stitch the components together with uniformly drawn bridges in a
+        # random spanning order (cheap, preserves the planted structure).
+        from repro.graph.traversal import connected_components
+
+        components = connected_components(graph)
+        order = list(range(len(components)))
+        rng.shuffle(order)
+        for previous, current in zip(order, order[1:]):
+            u = int(components[previous][int(rng.integers(0, len(components[previous])))])
+            v = int(components[current][int(rng.integers(0, len(components[current])))])
+            edge_set.add((min(u, v), max(u, v)))
+        graph = Graph(n, sorted(edge_set))
+    return graph
 
 
 def random_tree(n: int, seed: RandomState = None) -> Graph:

@@ -95,3 +95,14 @@ def test_point_cloud_example(capsys):
                          capsys)
     assert "Point cloud" in output
     assert "coverage error" in output
+
+
+@pytest.mark.slow
+def test_worlds_envelope_example(capsys):
+    output = run_example("worlds_envelope.py",
+                         ["--quick", "--events", "8"], capsys)
+    assert "Worlds envelope: 12 worlds" in output
+    assert "Degradation regime 1" in output
+    assert "Degradation regime 2" in output
+    assert "exact density-ratio cancellation" in output
+    assert "inside the documented envelope" in output

@@ -115,6 +115,38 @@ class TestRandomFamilies:
         with pytest.raises(InvalidParameterError):
             generators.random_regular(9, 3, seed=0)
 
+    def test_random_regular_high_degree(self):
+        # d = 6 matchings almost never come out simple; the generator must
+        # repair conflicts by degree-preserving double-edge swaps instead of
+        # rejecting whole matchings.
+        for seed in range(5):
+            graph = generators.random_regular(60, 6, seed=seed)
+            assert all(graph.degree(v) == 6 for v in range(60))
+            assert is_connected(graph)
+
+    def test_random_regular_reproducible(self):
+        first = generators.random_regular(40, 6, seed=11)
+        second = generators.random_regular(40, 6, seed=11)
+        assert list(first.edges()) == list(second.edges())
+
+    def test_planted_partition_connected(self):
+        graph = generators.planted_partition(80, 4, 0.4, 0.02, seed=3)
+        assert graph.n == 80
+        assert is_connected(graph)
+
+    def test_planted_partition_community_structure(self):
+        # With p_in >> p_out, within-block edges dominate cross-block ones.
+        graph = generators.planted_partition(80, 4, 0.5, 0.01, seed=4)
+        block = 80 // 4
+        within = sum(1 for u, v in graph.edges() if u // block == v // block)
+        assert within > graph.m / 2
+
+    def test_planted_partition_invalid_params(self):
+        with pytest.raises(InvalidParameterError):
+            generators.planted_partition(10, 0, 0.5, 0.1, seed=0)
+        with pytest.raises(InvalidParameterError):
+            generators.planted_partition(10, 2, 1.5, 0.1, seed=0)
+
     def test_random_tree_edge_count(self):
         graph = generators.random_tree(40, seed=7)
         assert graph.m == 39
