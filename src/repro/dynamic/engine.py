@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import copy
 import warnings
+import zlib
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Sequence, Tuple
@@ -199,6 +200,14 @@ class DynamicCFCM:
         :class:`~repro.dynamic.IncrementalResistance` this engine creates.
     backend_options:
         Keyword arguments for the backend constructor (sparse backend only).
+    watchdog_interval:
+        Probe the numerical health of every cached incremental inverse once
+        per this-many synchronisations (the backward residual
+        ``max|L_{-S}(B⁻¹e) − e|`` of a sampled unit solve); drift past
+        ``drift_threshold`` triggers an automatic refactorisation.  ``0``
+        (the default) disables the watchdog.
+    drift_threshold:
+        Residual above which a watchdog probe refactorises the tracker.
     """
 
     def __init__(self, graph: DynamicGraph | Graph, seed: RandomState = None,
@@ -206,7 +215,9 @@ class DynamicCFCM:
                  max_drift: Optional[int] = None, refresh_interval: int = 64,
                  cache_capacity: int = 64, ess_floor: float = 0.5,
                  backend: str | ResistanceBackend = "dense",
-                 backend_options: Optional[Dict[str, object]] = None):
+                 backend_options: Optional[Dict[str, object]] = None,
+                 watchdog_interval: int = 0,
+                 drift_threshold: float = 1e-6):
         if isinstance(graph, Graph):
             graph = DynamicGraph(graph)
         self.graph = graph
@@ -248,6 +259,13 @@ class DynamicCFCM:
                                               minimum=1)
         self.cache_capacity = check_integer("cache_capacity", cache_capacity,
                                             minimum=1)
+        self.watchdog_interval = check_integer("watchdog_interval",
+                                               watchdog_interval, minimum=0)
+        self.drift_threshold = float(drift_threshold)
+        if self.drift_threshold <= 0.0:
+            raise InvalidParameterError(
+                f"drift_threshold must be positive, got {drift_threshold}"
+            )
         self.stats = EngineStats()
         self._query_cache: Dict[Tuple, Tuple[int, CFCMResult]] = {}
         self._eval_cache: Dict[Tuple, Tuple[int, float]] = {}
@@ -380,7 +398,8 @@ class DynamicCFCM:
                 tracker = IncrementalResistance(
                     self.graph, key, refresh_interval=self.refresh_interval,
                     backend=self.backend,
-                    backend_options=self.backend_options)
+                    backend_options=self.backend_options,
+                    watchdog=self._make_watchdog(key))
             else:
                 self.stats.eval_hits += 1
                 span.set(cache="hit")
@@ -561,6 +580,44 @@ class DynamicCFCM:
             _pool_key(roots): pool.health()
             for roots, pool in self._pools.items()
         }
+
+    # ----------------------------------------------------- durability hooks
+    def checkpoint(self, path: str) -> str:
+        """Serialise the full engine state to ``path`` (see
+        :mod:`repro.resilience.checkpoint` for the format).  The engine is
+        quiesced first (pending journal events folded in) and remains fully
+        usable afterwards.  Returns the path written."""
+        from repro.resilience.checkpoint import checkpoint_engine
+
+        return checkpoint_engine(self, path)
+
+    @classmethod
+    def restore(cls, path: str) -> "DynamicCFCM":
+        """Rebuild an engine from a :meth:`checkpoint` archive.
+
+        The restored engine continues *bit-equal* with the checkpointed one:
+        identical RNG stream, caches, pools and factor state.  To recover a
+        crashed primary, replay its post-checkpoint mutations onto
+        :attr:`graph` — the journal-replayed engine reconverges exactly.
+        """
+        from repro.resilience.checkpoint import restore_engine
+
+        return restore_engine(path)
+
+    def _make_watchdog(self, key: Tuple[int, ...]):
+        """A per-tracker drift watchdog, or ``None`` when disabled.
+
+        Seeded from the group key so every tracker probes an independent,
+        deterministic row stream (and a restored checkpoint replays it).
+        """
+        if self.watchdog_interval <= 0:
+            return None
+        from repro.resilience.watchdog import ResidualWatchdog
+
+        return ResidualWatchdog(
+            threshold=self.drift_threshold, interval=self.watchdog_interval,
+            seed=zlib.crc32(_pool_key(key).encode("utf-8")),
+        )
 
     # ------------------------------------------------------------ maintenance
     def _require_pool(self, roots: Tuple[int, ...],

@@ -51,7 +51,13 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.exceptions import GraphError, InvalidParameterError
+from repro.exceptions import (
+    BackendUnavailableError,
+    ConvergenceError,
+    GraphError,
+    InvalidParameterError,
+    NumericalDriftError,
+)
 from repro.dynamic.graph import ADD_NODE, DynamicGraph, GraphUpdate
 from repro.linalg.backends import (
     DenseResistanceBackend,
@@ -60,6 +66,9 @@ from repro.linalg.backends import (
 )
 from repro.obs.metrics import REGISTRY, SIZE_BUCKETS
 from repro.obs.tracing import trace
+from repro.resilience.policy import record_failover
+from repro.resilience.watchdog import ResidualWatchdog
+from repro.utils.faultpoints import fault_point
 from repro.utils.timer import clock
 from repro.utils.validation import check_integer
 
@@ -93,6 +102,8 @@ class ResistanceStats:
     node_downdates: int = 0
     refreshes: int = 0
     singular_refreshes: int = 0
+    drift_refreshes: int = 0
+    failovers: int = 0
     events_seen: int = 0
 
     def as_dict(self) -> Dict[str, int]:
@@ -104,6 +115,8 @@ class ResistanceStats:
             "node_downdates": self.node_downdates,
             "refreshes": self.refreshes,
             "singular_refreshes": self.singular_refreshes,
+            "drift_refreshes": self.drift_refreshes,
+            "failovers": self.failovers,
             "events_seen": self.events_seen,
         }
 
@@ -144,7 +157,8 @@ class IncrementalResistance:
     def __init__(self, graph: DynamicGraph, group: Sequence[int],
                  refresh_interval: int = 64,
                  backend: Union[str, ResistanceBackend] = "dense",
-                 backend_options: Optional[Dict[str, object]] = None):
+                 backend_options: Optional[Dict[str, object]] = None,
+                 watchdog: Optional[ResidualWatchdog] = None):
         self.graph = graph
         self.group = list(graph.validate_group(group))
         self.refresh_interval = check_integer("refresh_interval", refresh_interval,
@@ -152,9 +166,11 @@ class IncrementalResistance:
         self.backend = make_resistance_backend(
             backend, n=graph.n, m=graph.m, options=backend_options,
         )
+        self.watchdog = watchdog
         self.stats = ResistanceStats()
         self._updates_since_refresh = 0
         self._synced_version = -1
+        self._probing = False
         self._factorize()
 
     @property
@@ -175,19 +191,26 @@ class IncrementalResistance:
         factorisation of the current state.
         """
         graph = self.graph
-        if self._synced_version >= graph.version:
-            return self
-        pending = graph.version - self._synced_version
-        start = clock()
-        with trace("resistance.sync", pending=pending, backend=self.backend.name):
+        if self._synced_version < graph.version:
+            pending = graph.version - self._synced_version
+            start = clock()
+            with trace("resistance.sync", pending=pending, backend=self.backend.name):
+                try:
+                    self._sync_pending(graph)
+                finally:
+                    if REGISTRY.enabled:
+                        elapsed = clock() - start
+                        _SYNC_SECONDS.observe(elapsed)
+                        _SYNC_EVENTS.observe(pending)
+                        _BACKEND_SYNC_SECONDS.observe(elapsed, backend=self.backend.name)
+        if (self.watchdog is not None and not self._probing
+                and self.watchdog.tick()):
+            self._probing = True
             try:
-                return self._sync_pending(graph)
+                self.verify(repair=True)
             finally:
-                if REGISTRY.enabled:
-                    elapsed = clock() - start
-                    _SYNC_SECONDS.observe(elapsed)
-                    _SYNC_EVENTS.observe(pending)
-                    _BACKEND_SYNC_SECONDS.observe(elapsed, backend=self.backend.name)
+                self._probing = False
+        return self
 
     def _sync_pending(self, graph: DynamicGraph) -> "IncrementalResistance":
         """The replay half of :meth:`sync` (pending events guaranteed)."""
@@ -244,10 +267,14 @@ class IncrementalResistance:
                 else:
                     self._apply_node_remove(event)
             self._apply_edge_batch(batch)
-        except InvalidParameterError:
+        except (InvalidParameterError, ConvergenceError) as exc:
+            # Singular capacitance or a solver that failed mid-batch: the
+            # backend contract guarantees nothing was committed, so a fresh
+            # factorisation of the current state is always a valid answer.
             self._factorize()
             self.stats.refreshes += 1
-            self.stats.singular_refreshes += 1
+            if isinstance(exc, InvalidParameterError):
+                self.stats.singular_refreshes += 1
             return self
         self._synced_version = graph.version
         return self
@@ -320,6 +347,64 @@ class IncrementalResistance:
         """Graph version the inverse currently reflects."""
         return self._synced_version
 
+    # ----------------------------------------------------- numerical health
+    def verify(self, threshold: Optional[float] = None,
+               repair: bool = True) -> float:
+        """Probe the backward residual ``max|L_{-S}(B⁻¹e) − e|`` of the state.
+
+        Solves one sampled unit system against the tracked factorisation and
+        measures the residual against the *actual* grounded Laplacian of the
+        current graph.  Past ``threshold`` (default: the watchdog's, else
+        ``1e-6``), ``repair=True`` auto-refactorises from scratch while
+        ``repair=False`` raises
+        :class:`repro.exceptions.NumericalDriftError`.  Returns the observed
+        residual (``inf`` when the solver could not even answer the probe).
+        """
+        self.sync()
+        if threshold is None:
+            threshold = (self.watchdog.threshold if self.watchdog is not None
+                         else 1e-6)
+        n = self.backend.n
+        if n == 0:
+            return 0.0
+        row = (self.watchdog.pick_row(n) if self.watchdog is not None else 0)
+        unit = np.zeros(n, dtype=np.float64)
+        unit[row] = 1.0
+        try:
+            solution = self.backend.solve(unit)
+            matrix = self._grounded_matrix()
+            residual = float(np.max(np.abs(matrix @ solution - unit)))
+        except ConvergenceError:
+            residual = float("inf")
+        if self.watchdog is not None:
+            self.watchdog.record(residual, group=self._group_label())
+        if residual > threshold:
+            if not repair:
+                raise NumericalDriftError(
+                    f"tracked inverse drifted: probe residual {residual:.3e} "
+                    f"exceeds threshold {threshold:.3e}",
+                    residual=residual, threshold=threshold,
+                )
+            if self.watchdog is not None:
+                self.watchdog.count_trip()
+            self._factorize()
+            self.stats.refreshes += 1
+            self.stats.drift_refreshes += 1
+        return residual
+
+    def _group_label(self) -> str:
+        return ",".join(str(int(node)) for node in self.group)
+
+    def _grounded_matrix(self):
+        """The current grounded Laplacian in this tracker's row order."""
+        graph = self.graph
+        mapping = graph.snapshot_mapping()
+        position = {int(x): i for i, x in enumerate(mapping)}
+        rows = np.fromiter((position[int(x)] for x in self.kept),
+                           dtype=np.int64, count=len(self.kept))
+        full = graph.laplacian_sparse()
+        return full[rows][:, rows].tocsr()
+
     # -------------------------------------------------------------- internals
     def _apply_edge_batch(self, batch: List[GraphUpdate]) -> None:
         """Fold one run of (relevant) edge events in as a rank-``t`` update."""
@@ -336,6 +421,7 @@ class IncrementalResistance:
         if not triples:
             return
         self.backend.apply_triples(triples)
+        fault_point("backend.drift", subject=self.backend)
         if len(triples) == 1:
             self.stats.rank1_updates += 1
         else:
@@ -406,11 +492,40 @@ class IncrementalResistance:
         positions = np.flatnonzero(keep_mask)
         if self.backend.wants_sparse:
             full = graph.laplacian_sparse()
-            self.backend.factorize(full[positions][:, positions].tocsc())
+            matrix = full[positions][:, positions].tocsc()
         else:
             full = graph.laplacian_dense()
-            self.backend.factorize(full[np.ix_(positions, positions)])
+            matrix = full[np.ix_(positions, positions)]
+        try:
+            self.backend.factorize(matrix)
+        except (RuntimeError, ConvergenceError, InvalidParameterError,
+                np.linalg.LinAlgError) as exc:
+            self._failover(matrix, exc)
         self.kept = mapping[keep_mask].copy()
         self._local = {int(x): row for row, x in enumerate(self.kept)}
         self._updates_since_refresh = 0
         self._synced_version = graph.version
+
+    def _failover(self, matrix, exc: Exception) -> None:
+        """Degrade after a failed factorisation: sparse → dense, dense → retry.
+
+        The failed backend committed nothing (its factorize raises before
+        swapping state in), so retrying — on the dense fallback, or once
+        more on the dense backend itself — is always sound.  A second
+        failure is terminal: :class:`BackendUnavailableError`.
+        """
+        failed = self.backend.name
+        fallback = (self.backend if isinstance(self.backend, DenseResistanceBackend)
+                    else DenseResistanceBackend())
+        dense = matrix.toarray() if hasattr(matrix, "toarray") else matrix
+        try:
+            fallback.factorize(np.asarray(dense, dtype=np.float64))
+        except (RuntimeError, ConvergenceError, InvalidParameterError,
+                np.linalg.LinAlgError) as retry_exc:
+            raise BackendUnavailableError(
+                f"factorisation failed on backend {failed!r} and on the "
+                f"dense fallback: {retry_exc}"
+            ) from exc
+        self.backend = fallback
+        self.stats.failovers += 1
+        record_failover(failed)

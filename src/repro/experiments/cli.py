@@ -7,7 +7,7 @@ Usage::
     python -m repro.experiments fig2 --eps 0.2
     python -m repro.experiments dynamic --quick
     python -m repro.experiments serve --smoke
-    python -m repro.experiments worlds --smoke
+    python -m repro.experiments worlds --smoke [--faults]
     python -m repro.experiments all --quick
 
 ``all`` regenerates the paper artefacts (table2 and the five figures); the
@@ -85,6 +85,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--worlds", default=None, metavar="JSON",
                         help="worlds: run explicit specs from this JSON file "
                              "instead of sampling (a list of WorldSpec dicts)")
+    parser.add_argument("--faults", action="store_true",
+                        help="worlds: inject deterministic fault regimes "
+                             "(with --smoke: the chaos smoke cross; "
+                             "otherwise overlay chaos faults on the specs)")
     parser.add_argument("--output-csv", default=None,
                         help="worlds: also write the sweep table as CSV")
     parser.add_argument("--quick", action="store_true",
@@ -149,7 +153,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if name == "worlds":
         result = run_worlds(count=args.count, events=args.events,
                             seed=args.seed, smoke=args.smoke,
-                            quick=args.quick, worlds_file=args.worlds,
+                            quick=args.quick, faults=args.faults,
+                            worlds_file=args.worlds,
                             output_json=args.output_json,
                             output_csv=args.output_csv,
                             metrics_prefix=args.metrics_prefix)

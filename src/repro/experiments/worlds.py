@@ -24,6 +24,7 @@ from repro.experiments.report import format_table, write_obs_artifacts
 from repro.worlds import (
     WorldSampler,
     WorldSpec,
+    faulted_smoke_specs,
     gate_rows,
     smoke_specs,
     sweep,
@@ -33,6 +34,12 @@ from repro.worlds import (
 TABLE_COLUMNS = (
     "world", "n", "events_applied", "forest_rel_error", "exact_rel_error",
     "p95_exact_ms", "p95_forest_ms", "min_pool_ess", "accuracy_ok", "ess_ok",
+)
+
+FAULTS_TABLE_COLUMNS = (
+    "world", "n", "faults", "faults_injected", "typed_failures",
+    "events_applied", "forest_rel_error", "exact_rel_error",
+    "min_pool_ess", "accuracy_ok", "ess_ok",
 )
 
 
@@ -50,13 +57,23 @@ def run_worlds(
     seed: int = 0,
     smoke: bool = False,
     quick: bool = False,
+    faults: bool = False,
     worlds_file: Optional[str] = None,
     output_json: Optional[str] = None,
     output_csv: Optional[str] = None,
     metrics_prefix: Optional[str] = None,
 ) -> Dict[str, object]:
-    """Run the sweep and print the envelope table; returns rows + failures."""
-    if smoke:
+    """Run the sweep and print the envelope table; returns rows + failures.
+
+    ``faults=True`` overlays the chaos fault regimes on the smoke cross
+    (:func:`repro.worlds.faulted_smoke_specs`): every read under injection
+    must either meet the world's accuracy gate or fail with a typed error,
+    and the table grows injection/typed-failure columns.
+    """
+    if smoke and faults:
+        specs = faulted_smoke_specs()
+        source = "chaos smoke cross"
+    elif smoke:
         specs = smoke_specs()
         source = "smoke cross"
     elif worlds_file is not None:
@@ -68,15 +85,25 @@ def run_worlds(
         sampler = WorldSampler(events=events, seed=seed)
         specs = list(sampler.sample(count))
         source = f"sampler(seed={seed})"
+    if faults and not smoke:
+        from dataclasses import replace
+
+        from repro.worlds import FaultSpec
+
+        specs = [spec if spec.faults.active
+                 else replace(spec, faults=FaultSpec(regime="chaos"))
+                 for spec in specs]
+        source += " + chaos faults"
 
     print(f"== worlds sweep: {len(specs)} worlds from {source} ==")
     rows = sweep(specs, verbose=True)
     failures = gate_rows(rows)
 
+    columns = FAULTS_TABLE_COLUMNS if faults else TABLE_COLUMNS
     print()
     print(format_table(
-        TABLE_COLUMNS,
-        [[row.get(column) for column in TABLE_COLUMNS] for row in rows],
+        columns,
+        [[row.get(column) for column in columns] for row in rows],
         float_format="{:.4g}",
     ))
     print()

@@ -54,6 +54,7 @@ from repro.linalg.updates import (
     grounded_inverse_grow,
 )
 from repro.obs.metrics import REGISTRY
+from repro.utils.faultpoints import fault_point
 from repro.utils.timer import clock
 
 # (i, j, delta) in local row indices; j is None for a grounded endpoint.
@@ -127,6 +128,7 @@ class ResistanceBackend:
 
     def factorize(self, matrix) -> None:
         """Rebuild from the current grounded matrix (dense or sparse)."""
+        fault_point("backend.factorize", subject=self, backend=self.name)
         self._n = int(matrix.shape[0])
         self._factorize_impl(matrix)
         self._invalidate()
@@ -237,6 +239,7 @@ class DenseResistanceBackend(ResistanceBackend):
             raise InvalidParameterError(
                 "backend has no factorisation yet; call factorize() first"
             )
+        fault_point("backend.solve", subject=self, backend=self.name)
         rhs = np.asarray(rhs, dtype=np.float64)
         start = clock()
         result = self.inverse @ rhs
@@ -264,6 +267,7 @@ class DenseResistanceBackend(ResistanceBackend):
     def apply_triples(self, triples: Sequence[Triple]) -> None:
         if not triples:
             return
+        fault_point("backend.apply", subject=self, backend=self.name)
         if len(triples) == 1:
             self.inverse = grounded_inverse_edge_update(self.inverse, *triples[0])
         else:
@@ -436,6 +440,7 @@ class SparseResistanceBackend(ResistanceBackend):
         return base_solution - self._left @ core
 
     def solve_many(self, rhs: np.ndarray) -> np.ndarray:
+        fault_point("backend.solve", subject=self, backend=self.name)
         rhs = np.asarray(rhs, dtype=np.float64)
         squeeze = rhs.ndim == 1
         if squeeze:
@@ -495,6 +500,7 @@ class SparseResistanceBackend(ResistanceBackend):
 
     # ------------------------------------------------------------- mutations
     def apply_triples(self, triples: Sequence[Triple]) -> None:
+        fault_point("backend.apply", subject=self, backend=self.name)
         fresh: List[Triple] = []
         for i, j, delta in triples:
             i = int(i)

@@ -24,6 +24,7 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from repro.exceptions import ConvergenceError, InvalidParameterError
+from repro.utils.faultpoints import fault_point
 
 Matrix = Union[np.ndarray, sp.spmatrix]
 
@@ -151,16 +152,22 @@ class LaplacianSolver:
 
     # -------------------------------------------------------------- internals
     def _solve_cg(self, rhs: np.ndarray) -> np.ndarray:
+        fault_point("solver.cg", subject=self)
         solution, info = _cg(
             self._sparse_matrix, rhs, rtol=self.tol,
             maxiter=self.maxiter, M=self._preconditioner,
         )
         if info > 0:
+            residual = float(np.linalg.norm(self._sparse_matrix @ solution - rhs))
             raise ConvergenceError(
-                f"conjugate gradient did not converge within {info} iterations"
+                f"conjugate gradient did not converge within {info} iterations",
+                iterations=int(info), residual=residual, rtol=self.tol,
             )
         if info < 0:
-            raise ConvergenceError("conjugate gradient received an illegal input")
+            raise ConvergenceError(
+                "conjugate gradient received an illegal input",
+                iterations=int(info), rtol=self.tol,
+            )
         return solution
 
 

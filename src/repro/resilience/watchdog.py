@@ -1,0 +1,107 @@
+"""Numerical-health watchdog for tracked grounded-inverse state.
+
+The Woodbury update chain is exact in exact arithmetic but accumulates
+floating-point error (and, under the chaos harness, injected drift).  The
+watchdog schedules cheap probes of the backward residual
+``max|L_{-S} (B^{-1} e_i) - e_i|`` for a sampled unit vector ``e_i``: when
+the residual exceeds the threshold, the owning tracker refactorises from
+scratch.  Scheduling and row choice are counter-seeded so a restored
+checkpoint replays the identical probe sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.obs.metrics import REGISTRY
+
+_DRIFT_RESIDUAL = REGISTRY.gauge(
+    "repro_fault_drift_residual",
+    "Last watchdog probe residual max|L(B^-1 e) - e| per tracked group",
+    labels=("group",),
+)
+_WATCHDOG_REFACTS = REGISTRY.counter(
+    "repro_fault_watchdog_refactorizations_total",
+    "Auto-refactorizations triggered by the drift watchdog",
+)
+
+
+class ResidualWatchdog:
+    """Probe schedule + threshold for one tracked factorization.
+
+    Parameters
+    ----------
+    threshold:
+        Residual above which the tracker must refactorise.
+    interval:
+        Probe every this-many ``tick()`` calls; ``0`` disables the watchdog.
+    seed:
+        Seed of the probe-row streams (combined with the probe counter, so
+        state is two integers and serialises trivially).
+    """
+
+    def __init__(self, threshold: float = 1e-6, interval: int = 16,
+                 seed: int = 0):
+        if threshold <= 0:
+            raise InvalidParameterError(
+                f"watchdog threshold must be positive, got {threshold}"
+            )
+        if interval < 0:
+            raise InvalidParameterError(
+                f"watchdog interval must be non-negative, got {interval}"
+            )
+        self.threshold = float(threshold)
+        self.interval = int(interval)
+        self.seed = int(seed)
+        self.calls = 0
+        self.probes = 0
+        self.trips = 0
+        self.last_residual = 0.0
+
+    # ------------------------------------------------------------- scheduling
+    def tick(self) -> bool:
+        """Advance the schedule; ``True`` when a probe is due this call."""
+        if self.interval <= 0:
+            return False
+        self.calls += 1
+        return self.calls % self.interval == 0
+
+    def pick_row(self, n: int) -> int:
+        """Deterministically choose the probe row for the next probe."""
+        rng = np.random.default_rng((self.seed, self.probes))
+        return int(rng.integers(int(n)))
+
+    # ------------------------------------------------------------- accounting
+    def record(self, residual: float, group: str = "") -> bool:
+        """Record a probe result; ``True`` when it trips the threshold."""
+        self.probes += 1
+        self.last_residual = float(residual)
+        if REGISTRY.enabled:
+            _DRIFT_RESIDUAL.set(self.last_residual, group=group)
+        return self.last_residual > self.threshold
+
+    def count_trip(self) -> None:
+        """Account one threshold trip that led to an auto-refactorisation."""
+        self.trips += 1
+        if REGISTRY.enabled:
+            _WATCHDOG_REFACTS.inc()
+
+    # ---------------------------------------------------------- serialisation
+    def state_dict(self) -> Dict[str, Any]:
+        return {"threshold": self.threshold, "interval": self.interval,
+                "seed": self.seed, "calls": self.calls,
+                "probes": self.probes, "trips": self.trips,
+                "last_residual": self.last_residual}
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "ResidualWatchdog":
+        watchdog = cls(threshold=state["threshold"],
+                       interval=state["interval"], seed=state["seed"])
+        watchdog.calls = int(state.get("calls", 0))
+        watchdog.probes = int(state.get("probes", 0))
+        watchdog.trips = int(state.get("trips", 0))
+        watchdog.last_residual = float(state.get("last_residual", 0.0))
+        return watchdog

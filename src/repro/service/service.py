@@ -50,8 +50,10 @@ from repro.graph.graph import Graph
 from repro.obs.health import bind_engine_health, bind_service_health
 from repro.obs.metrics import REGISTRY, SIZE_BUCKETS
 from repro.obs.tracing import trace
+from repro.resilience.policy import CircuitBreaker, RetryPolicy, record_retry
 from repro.service.messages import Mutation, ServiceResponse, UpdateRequest, UpdateTicket
 from repro.service.workers import WorkerPool
+from repro.utils.faultpoints import fault_point
 from repro.utils.rng import RandomState
 from repro.utils.timer import clock
 from repro.utils.validation import check_integer
@@ -133,6 +135,17 @@ class AsyncCFCMService:
         Resistance backend spec for the engine's exact evaluation path
         (``"dense"``, ``"sparse"`` or ``"auto"``); ``None`` keeps the
         engine default.
+    retry_policy:
+        Optional :class:`repro.resilience.RetryPolicy`: reads failing with
+        a transient typed error (solver non-convergence, injected faults)
+        are re-run within the policy's attempt and deadline budget.
+    breaker:
+        Optional :class:`repro.resilience.CircuitBreaker`: sheds
+        relaxed-consistency reads with
+        :class:`repro.exceptions.ServiceDegradedError` while the update
+        queue is near its limit or after repeated read failures; fresh
+        reads always pass (they are how an open breaker observes
+        recovery).
     engine_kwargs:
         Extra :class:`repro.dynamic.DynamicCFCM` options (``pool_size``,
         ``refresh_interval``, ``backend_options``, ...).
@@ -148,10 +161,14 @@ class AsyncCFCMService:
         queue_limit: int = 1024,
         coalesce_limit: int = 64,
         backend: Optional[str] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
         **engine_kwargs,
     ):
         if backend is not None:
             engine_kwargs["backend"] = backend
+        self.retry_policy = retry_policy
+        self.breaker = breaker
         self.engine = DynamicCFCM(graph, seed=seed, config=config, **engine_kwargs)
         self.graph = self.engine.graph
         self.queue_limit = check_integer("queue_limit", queue_limit, minimum=1)
@@ -233,24 +250,47 @@ class AsyncCFCMService:
         return self._writer is not None and not self._closed
 
     # --------------------------------------------------------------- updates
-    async def submit(self, mutation: Mutation) -> UpdateTicket:
+    async def submit(
+        self,
+        mutation: Mutation,
+        wait_timeout: Optional[float] = None,
+    ) -> UpdateTicket:
         """Enqueue an arbitrary mutation ``mutation(graph)``; returns a ticket.
 
         The callable runs on the writer under the service's state lock; the
-        journal events it produces become the ticket's result.  Raises
-        :class:`repro.exceptions.ServiceOverloadedError` when the bounded
-        queue is full.
+        journal events it produces become the ticket's result.  When the
+        bounded queue is full, ``wait_timeout=None`` (the default) raises
+        :class:`repro.exceptions.ServiceOverloadedError` immediately
+        (backpressure); a positive ``wait_timeout`` awaits queue space for
+        up to that many seconds before giving up with the same error.
         """
         self._require_running()
+        if wait_timeout is not None and wait_timeout <= 0:
+            raise InvalidParameterError(
+                f"wait_timeout must be positive or None, got {wait_timeout}"
+            )
         ticket = UpdateTicket(self._loop)
+        request = UpdateRequest(mutation=mutation, ticket=ticket)
         try:
-            self._queue.put_nowait(UpdateRequest(mutation=mutation, ticket=ticket))
+            self._queue.put_nowait(request)
         except asyncio.QueueFull:
-            self.stats.updates_rejected += 1
-            raise ServiceOverloadedError(
-                f"update queue is full ({self.queue_limit} pending); "
-                "retry after awaiting a ticket or raise queue_limit"
-            ) from None
+            if wait_timeout is None:
+                self.stats.updates_rejected += 1
+                raise ServiceOverloadedError(
+                    f"update queue is full ({self.queue_limit} pending); "
+                    "retry after awaiting a ticket or raise queue_limit"
+                ) from None
+            try:
+                await asyncio.wait_for(
+                    self._queue.put(request), timeout=wait_timeout
+                )
+            except asyncio.TimeoutError:
+                self.stats.updates_rejected += 1
+                raise ServiceOverloadedError(
+                    f"update queue stayed full ({self.queue_limit} pending) "
+                    f"for {wait_timeout}s; retry after awaiting a ticket or "
+                    "raise queue_limit"
+                ) from None
         self._last_ticket = ticket
         self.stats.updates_submitted += 1
         return ticket
@@ -293,6 +333,7 @@ class AsyncCFCMService:
         """
         self._require_running()
         started = clock()
+        self._admit(consistency)
         try:
             await self._consistency_barrier(consistency)
 
@@ -301,10 +342,11 @@ class AsyncCFCMService:
                 # stack nests correctly on a worker thread, never across
                 # awaits on the event loop.
                 with self._state_lock, trace("service.query", k=k):
+                    fault_point("service.worker", subject=self)
                     result = self.engine.query(k, method=method, eps=eps, evaluate=evaluate)
                     return result, self.graph.version, self.engine.stats.as_dict()
 
-            result, version, stats = await self._pool.run(work)
+            result, version, stats = await self._run_with_policy(work, "query", started)
         except asyncio.CancelledError:
             self.stats.cancelled += 1
             raise
@@ -321,15 +363,17 @@ class AsyncCFCMService:
         """Group CFCC of ``group``; ``mode`` is ``"exact"`` or ``"forest"``."""
         self._require_running()
         started = clock()
+        self._admit(consistency)
         try:
             await self._consistency_barrier(consistency)
 
             def work() -> Tuple[float, int, Dict[str, object]]:
                 with self._state_lock, trace("service.evaluate", mode=mode):
+                    fault_point("service.worker", subject=self)
                     value = self.engine.evaluate(group, mode=mode)
                     return value, self.graph.version, self.engine.stats.as_dict()
 
-            value, version, stats = await self._pool.run(work)
+            value, version, stats = await self._run_with_policy(work, "evaluate", started)
         except asyncio.CancelledError:
             self.stats.cancelled += 1
             raise
@@ -407,6 +451,39 @@ class AsyncCFCMService:
                 "or await start() first"
             )
 
+    def _admit(self, consistency: str) -> None:
+        """Circuit-breaker admission: shed relaxed reads under degradation."""
+        if self.breaker is not None:
+            self.breaker.admit(consistency, self._queue.qsize(), self.queue_limit)
+
+    async def _run_with_policy(self, work, kind: str, started: float):
+        """Run one read on the worker pool under the retry/breaker policy.
+
+        Transient typed failures (per ``retry_policy.retry_on``) are re-run
+        within the policy's attempt count and wall-clock deadline; terminal
+        outcomes feed the circuit breaker's failure/success streaks.
+        """
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                outcome = await self._pool.run(work)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                policy = self.retry_policy
+                if policy is not None and policy.should_retry(
+                    exc, attempt, clock() - started
+                ):
+                    record_retry(kind)
+                    continue
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                raise
+            if self.breaker is not None:
+                self.breaker.record_success()
+            return outcome
+
     async def _consistency_barrier(self, consistency: str) -> None:
         if consistency == "fresh":
             await self.barrier()
@@ -449,6 +526,7 @@ class AsyncCFCMService:
         evaluation folds it in as a single rank-``t`` Woodbury batch.
         """
         started = clock()
+        fault_point("service.stall", subject=self)
         with self._state_lock, trace("service.apply_batch", batch=len(batch)):
             for request in batch:
                 before = self.graph.version

@@ -31,6 +31,7 @@ from repro.worlds.spec import (
     TRAFFIC_MIXES,
     ChurnSpec,
     EstimatorSpec,
+    FaultSpec,
     TrafficSpec,
     WorldSampler,
     WorldSpec,
@@ -49,6 +50,7 @@ from repro.worlds.sweep import (
     ESS_SOURCE,
     LATENCY_SOURCE,
     SERVICE_LATENCY_SOURCE,
+    faulted_smoke_specs,
     gate_rows,
     run_world,
     smoke_specs,
@@ -64,6 +66,7 @@ __all__ = [
     "TRAFFIC_MIXES",
     "ChurnSpec",
     "EstimatorSpec",
+    "FaultSpec",
     "TrafficSpec",
     "WorldSampler",
     "WorldSpec",
@@ -78,6 +81,7 @@ __all__ = [
     "ESS_SOURCE",
     "LATENCY_SOURCE",
     "SERVICE_LATENCY_SOURCE",
+    "faulted_smoke_specs",
     "gate_rows",
     "run_world",
     "smoke_specs",

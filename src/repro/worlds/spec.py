@@ -42,6 +42,7 @@ from typing import Callable, Dict, Optional, Tuple
 from repro.exceptions import InvalidParameterError
 from repro.graph import generators
 from repro.graph.graph import Graph
+from repro.resilience.faults import FAULT_REGIMES, FaultPlan
 from repro.utils.rng import RandomState, as_rng
 from repro.utils.validation import check_integer
 
@@ -205,6 +206,50 @@ class EstimatorSpec:
 
 
 @dataclass(frozen=True)
+class FaultSpec:
+    """Fault regime of a world (the chaos axis of the sweep harness).
+
+    ``regime`` names one of :data:`repro.resilience.FAULT_REGIMES`
+    (``"none"`` keeps the world fault-free and its name/JSON unchanged);
+    ``rate``/``limit``/``magnitude`` are forwarded to
+    :meth:`repro.resilience.FaultPlan.for_regime`, so a faulted spec is a
+    complete reproduction recipe for its failure schedule too.
+    """
+
+    regime: str = "none"
+    rate: float = 0.25
+    limit: int = 4
+    magnitude: float = 1e-4
+
+    def validate(self) -> "FaultSpec":
+        if self.regime not in FAULT_REGIMES:
+            raise InvalidParameterError(
+                f"unknown fault regime {self.regime!r} (expected one of "
+                f"{FAULT_REGIMES})"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise InvalidParameterError(
+                f"fault rate must lie in [0, 1], got {self.rate}"
+            )
+        check_integer("limit", self.limit, minimum=1)
+        if self.magnitude <= 0.0:
+            raise InvalidParameterError(
+                f"fault magnitude must be positive, got {self.magnitude}"
+            )
+        return self
+
+    @property
+    def active(self) -> bool:
+        return self.regime != "none"
+
+    def plan(self, seed: int) -> FaultPlan:
+        """Materialise the deterministic fault schedule for one world seed."""
+        return FaultPlan.for_regime(self.regime, rate=self.rate,
+                                    limit=self.limit,
+                                    magnitude=self.magnitude, seed=seed)
+
+
+@dataclass(frozen=True)
 class WorldSpec:
     """One declarative serving scenario of the sweep harness.
 
@@ -225,6 +270,7 @@ class WorldSpec:
     backend: str = "dense"
     estimator: EstimatorSpec = field(default_factory=EstimatorSpec)
     mode: str = "engine"
+    faults: FaultSpec = field(default_factory=FaultSpec)
     seed: int = 0
 
     def validate(self) -> "WorldSpec":
@@ -245,14 +291,23 @@ class WorldSpec:
         self.churn.validate()
         self.traffic.validate()
         self.estimator.validate()
+        self.faults.validate()
         return self
 
     # ------------------------------------------------------------- identity
     @property
     def name(self) -> str:
-        """Stable human-readable identifier used in tables and artifacts."""
-        return (f"{self.topology}-n{self.n}-{self.churn.regime}"
+        """Stable human-readable identifier used in tables and artifacts.
+
+        Fault-free worlds keep the historical six-axis name, so every
+        pre-chaos artifact and doc reference stays valid; faulted worlds
+        append ``-f<regime>``.
+        """
+        base = (f"{self.topology}-n{self.n}-{self.churn.regime}"
                 f"-{self.traffic.mix}-{self.backend}-{self.mode}-s{self.seed}")
+        if self.faults.active:
+            return f"{base}-f{self.faults.regime}"
+        return base
 
     # ------------------------------------------------------------- building
     def build_graph(self) -> Graph:
@@ -280,7 +335,9 @@ class WorldSpec:
         churn = ChurnSpec(**data.pop("churn", {}))
         traffic = TrafficSpec(**data.pop("traffic", {}))
         estimator = EstimatorSpec(**data.pop("estimator", {}))
-        spec = cls(churn=churn, traffic=traffic, estimator=estimator, **data)
+        faults = FaultSpec(**data.pop("faults", {}))
+        spec = cls(churn=churn, traffic=traffic, estimator=estimator,
+                   faults=faults, **data)
         return spec.validate()
 
     @classmethod

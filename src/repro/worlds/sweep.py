@@ -22,6 +22,9 @@ field                      meaning
 =========================  ==============================================
 ``world``                  spec name (topology-n-churn-mix-backend-mode-seed)
 ``topology/n/churn/...``   the spec axes (actual built node count in ``n``)
+``faults``                 fault regime (``"none"`` for unfaulted worlds)
+``faults_injected``        failures the chaos injector actually fired
+``typed_failures``         in-drive reads that failed with a typed ReproError
 ``events_applied``         journal events the churn driver landed
 ``exact_value``            engine ``evaluate_exact`` on the final graph
 ``exact_reference``        from-scratch dense reference on the same graph
@@ -41,8 +44,11 @@ from __future__ import annotations
 
 import asyncio
 import csv
+import dataclasses
 import json
 import sys
+from collections import Counter
+from contextlib import nullcontext
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -51,10 +57,13 @@ import numpy as np
 from repro import obs
 from repro.centrality.estimators import SamplingConfig
 from repro.dynamic import DynamicCFCM, DynamicGraph
+from repro.exceptions import ReproError
+from repro.resilience.faults import FaultInjector
+from repro.resilience.policy import RetryPolicy
 from repro.utils.rng import as_rng
 from repro.utils.timer import clock
 from repro.worlds.churn import churn_summary, make_churn_driver, run_burst
-from repro.worlds.spec import WorldSpec
+from repro.worlds.spec import FaultSpec, WorldSpec
 
 #: registry histogram the per-op latency percentiles are read from.
 LATENCY_SOURCE = "repro_engine_op_seconds"
@@ -118,38 +127,67 @@ def _pool_health_from_registry(registry) -> Tuple[float, float, float]:
 
 
 def _reads(engine: DynamicCFCM, monitor: Sequence[int], count: int,
-           results: Dict[str, Optional[float]]) -> None:
-    """One read round: exact always, pooled forest when weights permit."""
+           results: Dict[str, Optional[float]],
+           failures: Optional[List[str]] = None) -> None:
+    """One read round: exact always, pooled forest when weights permit.
+
+    With ``failures`` set (faulted worlds) every typed :class:`ReproError`
+    is recorded instead of aborting the drive — the chaos contract is that
+    a faulted read either answers or fails loudly with a typed error, and
+    the sweep counts the latter.  Anything untyped still propagates.
+    """
     for _ in range(int(count)):
-        results["exact"] = engine.evaluate_exact(monitor)
-        if engine.graph.is_unit_weighted:
-            results["forest"] = engine.evaluate_forest(monitor)
+        try:
+            results["exact"] = engine.evaluate_exact(monitor)
+            if engine.graph.is_unit_weighted:
+                results["forest"] = engine.evaluate_forest(monitor)
+        except ReproError as exc:
+            if failures is None:
+                raise
+            failures.append(type(exc).__name__)
 
 
 def _drive_engine(spec: WorldSpec, engine: DynamicCFCM, driver,
-                  monitor: Tuple[int, ...], rng) -> List:
+                  monitor: Tuple[int, ...], rng,
+                  failures: Optional[List[str]] = None) -> List:
     """Synchronous front end: bursts of churn interleaved with reads."""
     graph = engine.graph
     results: Dict[str, Optional[float]] = {"exact": None, "forest": None}
-    _reads(engine, monitor, 1, results)  # warm the pool and the tracker
+    _reads(engine, monitor, 1, results, failures)  # warm pool and tracker
     events: List = []
     burst = spec.traffic.burst_size
     remaining = spec.churn.events
     while remaining > 0:
         events.extend(run_burst(driver, graph, min(burst, remaining), rng))
         remaining -= burst
-        _reads(engine, monitor, spec.traffic.reads_per_burst, results)
+        _reads(engine, monitor, spec.traffic.reads_per_burst, results,
+               failures)
     events.extend(driver.finish(graph))
     return events
 
 
-async def _drive_service(spec: WorldSpec, service, driver,
-                         monitor: Tuple[int, ...], rng) -> List:
-    """Async front end: churn submitted to the single writer, reads awaited."""
-    async with service:
+async def _service_read(service, monitor: Tuple[int, ...],
+                        failures: Optional[List[str]],
+                        barrier: bool = False) -> None:
+    """One awaited read round with the same typed-failure contract."""
+    try:
         await service.evaluate(monitor, mode="exact")
+        if barrier:
+            await service.barrier()
         if service.graph.is_unit_weighted:
             await service.evaluate(monitor, mode="forest")
+    except ReproError as exc:
+        if failures is None:
+            raise
+        failures.append(type(exc).__name__)
+
+
+async def _drive_service(spec: WorldSpec, service, driver,
+                         monitor: Tuple[int, ...], rng,
+                         failures: Optional[List[str]] = None) -> List:
+    """Async front end: churn submitted to the single writer, reads awaited."""
+    async with service:
+        await _service_read(service, monitor, failures)
         events: List = []
         tickets = []
         burst = spec.traffic.burst_size
@@ -163,10 +201,7 @@ async def _drive_service(spec: WorldSpec, service, driver,
                     lambda graph: driver.step(graph, rng)))
             remaining -= burst
             for _ in range(spec.traffic.reads_per_burst):
-                await service.evaluate(monitor, mode="exact")
-                await service.barrier()
-                if service.graph.is_unit_weighted:
-                    await service.evaluate(monitor, mode="forest")
+                await _service_read(service, monitor, failures, barrier=True)
         tickets.append(await service.submit(lambda graph: driver.finish(graph)))
         await service.barrier()
         for ticket in tickets:
@@ -198,6 +233,17 @@ def run_world(spec: WorldSpec, verbose: bool = False) -> Dict[str, object]:
                                intensity=spec.churn.intensity)
     rng = as_rng(int(np.random.default_rng(spec.seed).integers(0, 2**62)))
 
+    # Chaos harness: faulted worlds drive churn+reads under a deterministic
+    # FaultInjector (exited before the final gated reads) with the drift
+    # watchdog probing on every tracker sync, and — in service mode — the
+    # default retry policy absorbing transient injected failures.
+    faulted = spec.faults.active
+    injector = FaultInjector(spec.faults.plan(spec.seed)) if faulted else None
+    failures: List[str] = []
+    engine_kwargs: Dict[str, object] = (
+        {"watchdog_interval": 1} if faulted else {}
+    )
+
     was_enabled = obs.REGISTRY.enabled
     obs.REGISTRY.reset()
     obs.REGISTRY.enable()
@@ -210,19 +256,26 @@ def run_world(spec: WorldSpec, verbose: bool = False) -> Dict[str, object]:
                 graph, seed=spec.seed, config=config, workers=2,
                 backend=spec.backend, pool_size=spec.estimator.pool_size,
                 ess_floor=spec.estimator.ess_floor,
+                retry_policy=RetryPolicy() if faulted else None,
+                **engine_kwargs,
             )
             engine = service.engine
             unbind = obs.bind_engine_health(engine)
-            events = asyncio.run(_drive_service(spec, service, driver,
-                                                monitor, rng))
+            with injector if injector is not None else nullcontext():
+                events = asyncio.run(_drive_service(
+                    spec, service, driver, monitor, rng,
+                    failures if faulted else None))
         else:
             engine = DynamicCFCM(
                 graph, seed=spec.seed, config=config,
                 pool_size=spec.estimator.pool_size,
                 ess_floor=spec.estimator.ess_floor, backend=spec.backend,
+                **engine_kwargs,
             )
             unbind = obs.bind_engine_health(engine)
-            events = _drive_engine(spec, engine, driver, monitor, rng)
+            with injector if injector is not None else nullcontext():
+                events = _drive_engine(spec, engine, driver, monitor, rng,
+                                       failures if faulted else None)
 
         # Final reads on the settled graph: the accuracy comparison below
         # holds these against a from-scratch dense reference.
@@ -241,6 +294,11 @@ def run_world(spec: WorldSpec, verbose: bool = False) -> Dict[str, object]:
             "backend": spec.backend,
             "mode": spec.mode,
             "seed": spec.seed,
+            "faults": spec.faults.regime,
+            "faults_injected": (injector.total_injected
+                                if injector is not None else 0),
+            "typed_failures": len(failures),
+            "failure_kinds": dict(sorted(Counter(failures).items())),
             "events_applied": len(events),
             "event_kinds": churn_summary(events),
             "exact_value": float(exact_value),
@@ -282,11 +340,14 @@ def run_world(spec: WorldSpec, verbose: bool = False) -> Dict[str, object]:
             obs.REGISTRY.disable()
     _apply_row_gates(row)
     if verbose:
+        chaos = (f" injected={row['faults_injected']}"
+                 f" typed_failures={row['typed_failures']}"
+                 if faulted else "")
         print(f"[worlds] {row['world']}: "
               f"forest_err={_fmt(row['forest_rel_error'])} "
               f"exact_err={_fmt(row['exact_rel_error'])} "
               f"min_ess={_fmt(row['min_pool_ess'])} "
-              f"p95_forest={_fmt(row['p95_forest_ms'])}ms")
+              f"p95_forest={_fmt(row['p95_forest_ms'])}ms{chaos}")
     return row
 
 
@@ -390,11 +451,35 @@ def smoke_specs() -> List[WorldSpec]:
     ]
 
 
+def faulted_smoke_specs() -> List[WorldSpec]:
+    """The CI chaos-smoke cross: the canonical smoke worlds under faults.
+
+    Each smoke world is re-run with a fault regime overlaid (the axes are
+    otherwise identical, so any behavioural delta is attributable to the
+    injected failures).  Regimes are matched to what each world can
+    exercise: ``numerical_drift`` needs a dense tracked inverse to corrupt,
+    ``worker_crash`` needs the service front end, and ``solver_flaky`` /
+    ``chaos`` bite everywhere.  Gated by
+    ``python -m repro.experiments worlds --smoke --faults``.
+    """
+    regimes = ("solver_flaky", "numerical_drift", "solver_flaky",
+               "numerical_drift", "solver_flaky", "worker_crash", "chaos")
+    return [
+        # Drift worlds roll only on tracker syncs (far fewer draws than the
+        # solver seams see), so they get a higher per-call rate to guarantee
+        # the corruption/watchdog-heal path actually runs in CI.
+        dataclasses.replace(spec, faults=FaultSpec(
+            regime=regime, rate=0.75 if regime == "numerical_drift" else 0.25))
+        for spec, regime in zip(smoke_specs(), regimes)
+    ]
+
+
 # ----------------------------------------------------------------- artifacts
 #: column order of the CSV artifact (subset of the row schema, flat scalars).
 CSV_COLUMNS: Tuple[str, ...] = (
     "world", "topology", "n", "m", "churn", "traffic", "backend", "mode",
-    "seed", "events_applied", "exact_rel_error", "forest_rel_error",
+    "seed", "faults", "faults_injected", "typed_failures",
+    "events_applied", "exact_rel_error", "forest_rel_error",
     "p50_exact_ms", "p95_exact_ms", "p99_exact_ms",
     "p50_forest_ms", "p95_forest_ms", "p99_forest_ms",
     "min_pool_ess", "ess_floor_abs", "pool_capacity",

@@ -1,0 +1,450 @@
+"""Tests for the resilience layer: fault injection, degradation, recovery."""
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.dynamic import DynamicCFCM, DynamicGraph, IncrementalResistance
+from repro.exceptions import (
+    ConvergenceError,
+    InjectedFaultError,
+    InvalidParameterError,
+    NumericalDriftError,
+    ServiceDegradedError,
+    ServiceOverloadedError,
+)
+from repro.graph import generators
+from repro.linalg.backends import DenseResistanceBackend
+from repro.resilience import (
+    FAULT_REGIMES,
+    CircuitBreaker,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    ResidualWatchdog,
+    RetryPolicy,
+)
+from repro.service import AsyncCFCMService
+from repro.utils.faultpoints import fault_point
+from repro.worlds import FaultSpec, WorldSpec, faulted_smoke_specs, run_world
+from repro.worlds.spec import ChurnSpec, EstimatorSpec, TrafficSpec
+
+GROUP = (0, 1, 2)
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def missing_edge(graph):
+    """First absent (u, v) pair of the current topology."""
+    for u in range(graph.n):
+        for v in range(u + 1, graph.n):
+            if not graph.has_edge(u, v):
+                return u, v
+    raise AssertionError("graph is complete")
+
+
+class TestFaultPlans:
+    def test_regimes_round_trip(self):
+        for regime in FAULT_REGIMES:
+            plan = FaultPlan.for_regime(regime, rate=0.5, limit=3, seed=9)
+            assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_unknown_site_and_regime_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            FaultRule("backend.nope")
+        with pytest.raises(InvalidParameterError):
+            FaultPlan.for_regime("explosions")
+        with pytest.raises(InvalidParameterError):
+            FaultPlan(rules=(FaultRule("solver.cg"), FaultRule("solver.cg")))
+
+    def test_injection_is_deterministic(self):
+        plan = FaultPlan(
+            rules=(FaultRule("solver.cg", probability=0.5, limit=None),),
+            seed=123,
+        )
+
+        def drive():
+            outcomes = []
+            with FaultInjector(plan) as injector:
+                for _ in range(40):
+                    try:
+                        fault_point("solver.cg")
+                        outcomes.append(False)
+                    except ConvergenceError:
+                        outcomes.append(True)
+            return outcomes, injector.total_injected
+
+        first, count_a = drive()
+        second, count_b = drive()
+        assert first == second
+        assert count_a == count_b == sum(first) > 0
+
+    def test_limit_caps_injections(self):
+        plan = FaultPlan(
+            rules=(FaultRule("service.worker", probability=1.0, limit=2),),
+            seed=0,
+        )
+        errors = 0
+        with FaultInjector(plan) as injector:
+            for _ in range(10):
+                try:
+                    fault_point("service.worker")
+                except InjectedFaultError:
+                    errors += 1
+        assert errors == 2
+        assert injector.injected == {"service.worker": 2}
+
+    def test_injected_convergence_error_is_structured(self):
+        plan = FaultPlan(
+            rules=(FaultRule("solver.cg", probability=1.0, magnitude=0.5),),
+            seed=0,
+        )
+        with FaultInjector(plan):
+            with pytest.raises(ConvergenceError) as excinfo:
+                fault_point("solver.cg")
+        assert excinfo.value.iterations == 0
+        assert excinfo.value.residual == 0.5
+
+    def test_no_gate_means_no_faults(self):
+        fault_point("solver.cg")  # no injector installed: a no-op
+
+
+class TestWatchdog:
+    def test_validation_and_state_round_trip(self):
+        with pytest.raises(InvalidParameterError):
+            ResidualWatchdog(threshold=0.0)
+        with pytest.raises(InvalidParameterError):
+            ResidualWatchdog(interval=-1)
+        watchdog = ResidualWatchdog(threshold=1e-9, interval=2, seed=5)
+        assert not watchdog.tick() and watchdog.tick()
+        assert watchdog.record(1e-3, group="0,1")
+        watchdog.count_trip()
+        clone = ResidualWatchdog.from_state(watchdog.state_dict())
+        assert clone.state_dict() == watchdog.state_dict()
+        assert clone.pick_row(17) == watchdog.pick_row(17)
+
+    def test_drift_detected_and_healed(self):
+        base = generators.barabasi_albert(24, 2, seed=3)
+        engine = DynamicCFCM(DynamicGraph(base), seed=0, backend="dense",
+                             watchdog_interval=1, drift_threshold=1e-8)
+        engine.evaluate_exact(GROUP)
+        tracker = next(iter(engine._trackers.values()))
+        assert tracker.watchdog is not None
+        tracker.backend.inverse += 0.05  # corrupt the tracked inverse
+
+        u, v = missing_edge(engine.graph)
+        engine.graph.add_edge(u, v)
+        healed = engine.evaluate_exact(GROUP)
+
+        reference_graph = DynamicGraph(base)
+        reference_graph.add_edge(u, v)
+        reference = DynamicCFCM(reference_graph, seed=0,
+                                backend="dense").evaluate_exact(GROUP)
+        assert healed == pytest.approx(reference, rel=1e-10)
+        assert tracker.watchdog.trips >= 1
+        assert tracker.stats.drift_refreshes >= 1
+
+    def test_verify_without_repair_raises_typed_drift_error(self):
+        graph = DynamicGraph(generators.barabasi_albert(20, 2, seed=4))
+        tracker = IncrementalResistance(graph, GROUP, backend="dense")
+        tracker.sync()
+        tracker.backend.inverse += 0.1
+        with pytest.raises(NumericalDriftError) as excinfo:
+            tracker.verify(threshold=1e-8, repair=False)
+        assert excinfo.value.residual > excinfo.value.threshold == 1e-8
+
+
+class TestFailover:
+    def test_sparse_factorization_failure_fails_over_to_dense(self):
+        graph = DynamicGraph(generators.barabasi_albert(24, 2, seed=6))
+        tracker = IncrementalResistance(graph, GROUP, backend="sparse")
+        tracker.sync()
+        plan = FaultPlan(
+            rules=(FaultRule("backend.factorize", probability=1.0, limit=1),),
+            seed=0,
+        )
+        u, v = missing_edge(graph)
+        with FaultInjector(plan) as injector:
+            # A node event forces the sparse backend through a fresh
+            # factorisation, which the injector breaks exactly once.
+            graph.add_node([(u, 1.0), (v, 1.0)])
+            value = tracker.group_cfcc()
+        assert injector.total_injected == 1
+        assert isinstance(tracker.backend, DenseResistanceBackend)
+        assert tracker.stats.failovers == 1
+
+        reference = IncrementalResistance(graph, GROUP,
+                                          backend="dense").group_cfcc()
+        assert value == pytest.approx(reference, rel=1e-10)
+
+    def test_failed_sync_commits_nothing(self):
+        base = generators.barabasi_albert(24, 2, seed=7)
+        engine = DynamicCFCM(DynamicGraph(base), seed=2, backend="dense")
+        engine.evaluate_exact(GROUP)
+        tracker = next(iter(engine._trackers.values()))
+        version_before = tracker.synced_version
+        inverse_before = tracker.backend.inverse.copy()
+
+        u, v = missing_edge(engine.graph)
+        engine.graph.add_edge(u, v)
+
+        original = tracker._apply_edge_batch
+
+        def broken(batch):
+            raise RuntimeError("injected mid-sync crash")
+
+        tracker._apply_edge_batch = broken
+        with pytest.raises(RuntimeError):
+            engine.evaluate_exact(GROUP)
+        # Nothing committed: same synced version, bit-identical inverse.
+        assert tracker.synced_version == version_before
+        np.testing.assert_array_equal(tracker.backend.inverse, inverse_before)
+
+        # Recovery: the retried read matches a never-faulted engine exactly.
+        tracker._apply_edge_batch = original
+        recovered = engine.evaluate_exact(GROUP)
+        clean_graph = DynamicGraph(base)
+        clean = DynamicCFCM(clean_graph, seed=2, backend="dense")
+        clean.evaluate_exact(GROUP)
+        clean_graph.add_edge(u, v)
+        assert recovered == clean.evaluate_exact(GROUP)
+
+
+class TestPolicies:
+    def test_retry_policy_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(deadline=0.0)
+        policy = RetryPolicy(attempts=3, deadline=1.0)
+        err = ConvergenceError("boom")
+        assert policy.should_retry(err, 1, 0.1)
+        assert policy.should_retry(err, 2, 0.1)
+        assert not policy.should_retry(err, 3, 0.1)  # attempts exhausted
+        assert not policy.should_retry(err, 1, 2.0)  # deadline exceeded
+        assert not policy.should_retry(ValueError("x"), 1, 0.1)  # untyped
+
+    def test_breaker_sheds_relaxed_only(self):
+        breaker = CircuitBreaker(shed_fraction=0.5, failure_threshold=2,
+                                 recovery_successes=1)
+        # Overload: relaxed shed, fresh admitted.
+        with pytest.raises(ServiceDegradedError):
+            breaker.admit("relaxed", queue_depth=6, queue_limit=10)
+        breaker.admit("fresh", queue_depth=6, queue_limit=10)
+        # Calm queue: relaxed admitted again.
+        breaker.admit("relaxed", queue_depth=0, queue_limit=10)
+        # Consecutive failures open the breaker; successes close it.
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.open
+        with pytest.raises(ServiceDegradedError):
+            breaker.admit("relaxed", queue_depth=0, queue_limit=10)
+        breaker.admit("fresh", queue_depth=0, queue_limit=10)
+        breaker.record_success()
+        assert not breaker.open
+        assert breaker.shed == 2
+
+    def test_breaker_validation(self):
+        with pytest.raises(InvalidParameterError):
+            CircuitBreaker(shed_fraction=0.0)
+        with pytest.raises(InvalidParameterError):
+            CircuitBreaker(failure_threshold=0)
+
+
+class TestServiceResilience:
+    def test_submit_wait_timeout_validation(self):
+        graph = generators.barabasi_albert(24, 2, seed=8)
+
+        async def scenario():
+            async with AsyncCFCMService(graph, seed=0) as service:
+                with pytest.raises(InvalidParameterError):
+                    await service.submit(lambda g: None, wait_timeout=0.0)
+
+        run(scenario())
+
+    def test_submit_wait_timeout_expires_then_succeeds(self):
+        graph = generators.barabasi_albert(24, 2, seed=8)
+
+        async def scenario():
+            async with AsyncCFCMService(graph, seed=0,
+                                        queue_limit=1) as service:
+                await service.submit(lambda g: time.sleep(0.3))
+                deadline = time.perf_counter() + 5.0
+                while service.pending_updates > 0:  # writer picks sleeper up
+                    assert time.perf_counter() < deadline
+                    await asyncio.sleep(0.005)
+                blocker = await service.submit(lambda g: None)  # queue full
+                with pytest.raises(ServiceOverloadedError):
+                    await service.submit(lambda g: None)
+                with pytest.raises(ServiceOverloadedError):
+                    await service.submit(lambda g: None, wait_timeout=0.01)
+                # A generous timeout outlives the sleeper and gets through.
+                ticket = await service.submit(lambda g: None, wait_timeout=5.0)
+                await blocker.settled()
+                await ticket.settled()
+                assert ticket.exception() is None
+                return service
+
+        service = run(scenario())
+        assert service.stats.updates_rejected == 2
+
+    def test_retry_policy_absorbs_injected_worker_faults(self):
+        graph = generators.barabasi_albert(24, 2, seed=9)
+        plan = FaultPlan(
+            rules=(FaultRule("service.worker", probability=1.0, limit=1),),
+            seed=0,
+        )
+
+        async def scenario():
+            async with AsyncCFCMService(
+                graph, seed=0, retry_policy=RetryPolicy(attempts=3),
+            ) as service:
+                with FaultInjector(plan) as injector:
+                    response = await service.evaluate(GROUP, mode="exact")
+                return response.result, injector.total_injected
+
+        value, injected = run(scenario())
+        assert injected == 1
+        reference = DynamicCFCM(DynamicGraph(graph),
+                                seed=0).evaluate_exact(GROUP)
+        assert value == pytest.approx(reference, rel=1e-10)
+
+    def test_unretried_worker_fault_is_typed(self):
+        graph = generators.barabasi_albert(24, 2, seed=9)
+        plan = FaultPlan(
+            rules=(FaultRule("service.worker", probability=1.0, limit=1),),
+            seed=0,
+        )
+
+        async def scenario():
+            async with AsyncCFCMService(graph, seed=0) as service:
+                with FaultInjector(plan):
+                    with pytest.raises(InjectedFaultError):
+                        await service.evaluate(GROUP, mode="exact")
+                response = await service.evaluate(GROUP, mode="exact")
+                return response.result
+
+        value = run(scenario())
+        reference = DynamicCFCM(DynamicGraph(graph),
+                                seed=0).evaluate_exact(GROUP)
+        assert value == pytest.approx(reference, rel=1e-10)
+
+    def test_open_breaker_sheds_relaxed_reads(self):
+        graph = generators.barabasi_albert(24, 2, seed=10)
+
+        async def scenario():
+            breaker = CircuitBreaker(failure_threshold=1,
+                                     recovery_successes=1)
+            async with AsyncCFCMService(graph, seed=0,
+                                        breaker=breaker) as service:
+                breaker.record_failure()
+                assert breaker.open
+                with pytest.raises(ServiceDegradedError):
+                    await service.evaluate(GROUP, mode="exact",
+                                           consistency="relaxed")
+                fresh = await service.evaluate(GROUP, mode="exact")
+                assert not breaker.open  # fresh success closed it
+                return fresh.result
+
+        assert run(scenario()) > 0
+
+
+class TestCheckpointRecovery:
+    def test_checkpoint_restore_replay_is_bit_equal(self, tmp_path):
+        base = generators.barabasi_albert(28, 2, seed=11)
+        graph = DynamicGraph(base)
+        engine = DynamicCFCM(graph, seed=4, pool_size=8, backend="dense")
+        engine.evaluate_exact(GROUP)
+        engine.evaluate_forest(GROUP)
+
+        path = str(tmp_path / "engine.npz")
+        engine.checkpoint(path)
+
+        # Crash-and-restore replays the same post-checkpoint journal.
+        u, v = missing_edge(graph)
+        graph.add_edge(u, v)
+        live_exact = engine.evaluate_exact(GROUP)
+        live_forest = engine.evaluate_forest(GROUP)
+
+        restored = DynamicCFCM.restore(path)
+        restored.graph.add_edge(u, v)
+        assert restored.evaluate_exact(GROUP) == live_exact
+        assert restored.evaluate_forest(GROUP) == live_forest
+        assert (restored.rng.bit_generator.state
+                == engine.rng.bit_generator.state)
+
+    def test_checkpoint_restore_sparse_backend(self, tmp_path):
+        graph = DynamicGraph(generators.barabasi_albert(26, 2, seed=12))
+        engine = DynamicCFCM(graph, seed=5, pool_size=8, backend="sparse")
+        engine.evaluate_exact(GROUP)
+        path = str(tmp_path / "engine.npz")
+        engine.checkpoint(path)
+
+        u, v = missing_edge(graph)
+        graph.add_edge(u, v)
+        live = engine.evaluate_exact(GROUP)
+
+        restored = DynamicCFCM.restore(path)
+        restored.graph.add_edge(u, v)
+        assert restored.evaluate_exact(GROUP) == live
+
+    def test_checkpoint_write_is_atomic(self, tmp_path):
+        graph = DynamicGraph(generators.barabasi_albert(20, 2, seed=13))
+        engine = DynamicCFCM(graph, seed=0, pool_size=4)
+        engine.evaluate_exact(GROUP)
+        path = tmp_path / "engine.npz"
+        engine.checkpoint(str(path))
+        assert path.exists()
+        assert not path.with_suffix(".npz.tmp").exists()
+
+
+class TestFaultedWorlds:
+    def test_fault_spec_round_trip_and_name(self):
+        spec = WorldSpec(
+            topology="k_regular", n=32,
+            churn=ChurnSpec(regime="mixed", events=6),
+            traffic=TrafficSpec(mix="mixed"),
+            estimator=EstimatorSpec(pool_size=8, max_samples=16,
+                                    forest_tolerance=0.8),
+            faults=FaultSpec(regime="solver_flaky", rate=1.0, limit=2),
+            seed=21,
+        )
+        assert spec.name.endswith("-fsolver_flaky")
+        assert WorldSpec.from_dict(spec.to_dict()) == spec
+        # Legacy payloads without a faults axis still load as fault-free.
+        legacy = spec.to_dict()
+        legacy.pop("faults")
+        assert WorldSpec.from_dict(legacy).faults == FaultSpec()
+        with pytest.raises(InvalidParameterError):
+            FaultSpec(regime="explosions").validate()
+        with pytest.raises(InvalidParameterError):
+            FaultSpec(rate=1.5).validate()
+
+    def test_faulted_smoke_specs_overlay_regimes(self):
+        specs = faulted_smoke_specs()
+        assert len(specs) == 7
+        assert all(spec.faults.active for spec in specs)
+        service_specs = [s for s in specs if s.mode == "service"]
+        assert all(s.faults.regime == "worker_crash" for s in service_specs)
+
+    def test_faulted_run_world_answers_or_fails_typed(self):
+        spec = WorldSpec(
+            topology="k_regular", n=32,
+            churn=ChurnSpec(regime="mixed", events=6),
+            traffic=TrafficSpec(mix="mixed"),
+            estimator=EstimatorSpec(pool_size=8, max_samples=16,
+                                    forest_tolerance=0.8),
+            faults=FaultSpec(regime="solver_flaky", rate=1.0, limit=2),
+            seed=21,
+        )
+        row = run_world(spec)
+        assert row["faults"] == "solver_flaky"
+        assert row["faults_injected"] >= 1
+        # The drive either answered every read or failed typed; the final
+        # fault-free reads must land inside the accuracy gate either way.
+        assert row["accuracy_ok"]
+        assert row["typed_failures"] >= 0
