@@ -192,6 +192,13 @@ class DynamicCFCM:
         Fraction of ``pool_size``: when a pool's effective sample size falls
         below ``ess_floor * pool_size``, the next evaluation replaces its
         stale mass with fresh lockstep draws.
+    adaptive_ess_floor:
+        Let every pool tune its live ESS floor from observed churn
+        (:meth:`WeightedForestPool.effective_floor`): sustained churn
+        relaxes the floor towards ``min(0.25, ess_floor)`` — halving redraw
+        volume at negligible accuracy cost — and quiet periods restore the
+        configured floor.  Off by default for parity with historical
+        behaviour; the sharded engine enables it.
     backend:
         Resistance backend spec for the exact evaluation path: ``"dense"``
         (explicit inverse, the default), ``"sparse"`` (solver-backed, never
@@ -214,6 +221,7 @@ class DynamicCFCM:
                  config: Optional[SamplingConfig] = None, pool_size: int = 24,
                  max_drift: Optional[int] = None, refresh_interval: int = 64,
                  cache_capacity: int = 64, ess_floor: float = 0.5,
+                 adaptive_ess_floor: bool = False,
                  backend: str | ResistanceBackend = "dense",
                  backend_options: Optional[Dict[str, object]] = None,
                  watchdog_interval: int = 0,
@@ -255,6 +263,7 @@ class DynamicCFCM:
             raise InvalidParameterError(
                 f"ess_floor must lie in [0, 1], got {ess_floor}"
             )
+        self.adaptive_ess_floor = bool(adaptive_ess_floor)
         self.refresh_interval = check_integer("refresh_interval", refresh_interval,
                                               minimum=1)
         self.cache_capacity = check_integer("cache_capacity", cache_capacity,
@@ -385,25 +394,40 @@ class DynamicCFCM:
             return self.evaluate_forest(group)
         raise InvalidParameterError(f"unknown evaluation mode {mode!r}")
 
+    def tracker(self, group: Sequence[int]) -> IncrementalResistance:
+        """The cached per-group incremental inverse, created on first use.
+
+        The maintenance entry point behind :meth:`evaluate_exact`, exposed
+        so compositional front ends (the sharded engine's per-shard Schur
+        stitch) can reach the tracker's solve surface
+        (:meth:`~repro.dynamic.IncrementalResistance.resistance_column`,
+        :attr:`~repro.dynamic.IncrementalResistance.kept`) without going
+        through a scalar evaluation.  The tracker is LRU-cached under the
+        validated group key exactly like an evaluation would cache it.
+        """
+        self._sync_pools()
+        key = self.graph.validate_group(group)
+        tracker = self._trackers.get(key)
+        if tracker is None:
+            self.stats.eval_misses += 1
+            tracker = IncrementalResistance(
+                self.graph, key, refresh_interval=self.refresh_interval,
+                backend=self.backend,
+                backend_options=self.backend_options,
+                watchdog=self._make_watchdog(key))
+        else:
+            self.stats.eval_hits += 1
+        _lru_store(self._trackers, key, tracker, self.cache_capacity)
+        return tracker
+
     def evaluate_exact(self, group: Sequence[int]) -> float:
         """Exact group CFCC via the per-group incremental inverse."""
         with trace("engine.evaluate_exact") as span, _op_timer("evaluate_exact"):
-            self._sync_pools()
             key = self.graph.validate_group(group)
             span.set(group=_pool_key(key))
-            tracker = self._trackers.get(key)
-            if tracker is None:
-                self.stats.eval_misses += 1
-                span.set(cache="miss")
-                tracker = IncrementalResistance(
-                    self.graph, key, refresh_interval=self.refresh_interval,
-                    backend=self.backend,
-                    backend_options=self.backend_options,
-                    watchdog=self._make_watchdog(key))
-            else:
-                self.stats.eval_hits += 1
-                span.set(cache="hit")
-            _lru_store(self._trackers, key, tracker, self.cache_capacity)
+            cached = key in self._trackers
+            span.set(cache="hit" if cached else "miss")
+            tracker = self.tracker(key)
             batches = tracker.stats.batch_updates
             events = tracker.stats.batched_events
             value = tracker.group_cfcc()
@@ -629,7 +653,8 @@ class DynamicCFCM:
             # it restarts with the mapping (and weights) in force right now;
             # its old path system (if any) is for a dead id space.
             pool = WeightedForestPool(compact_roots, capacity=self.pool_size,
-                                      ess_floor=self.ess_floor)
+                                      ess_floor=self.ess_floor,
+                                      adaptive_floor=self.adaptive_ess_floor)
             self._paths.pop(roots, None)
             self._jl.pop(roots, None)
         _lru_store(self._pools, roots, pool, self.cache_capacity,
@@ -799,17 +824,68 @@ class DynamicCFCM:
                 pool.add_to_traces(cached, column[:, 0])
 
     def _decay_pools(self, event) -> None:
-        """Down-weight every pool after an edge insertion (stale stratum)."""
+        """Down-weight every pool after an edge insertion (stale stratum).
+
+        The decay is the exact balance-heuristic importance ratio wherever
+        the pool can price it: a stored forest avoids the new edge ``e``,
+        so its density under the new distribution is ``Z/Z' = 1 - p`` with
+        ``p = Pr_new[e ∈ F] = w_e R'(u, v)`` (matrix-forest theorem, ``R'``
+        the grounded effective resistance *after* the insertion).  ``R'``
+        follows from the pre-insertion resistance ``R`` via the rank-one
+        identity ``R' = R / (1 + w_e R)``, and ``R`` is estimated from the
+        pool's own draws with the projected forest estimator
+        ``(e_u - e_v)^T inv(L_{-S}) (e_u - e_v)``.  Pools that cannot price
+        the edge (empty, no path system yet, non-unit weights, degenerate
+        estimate) fall back to the conservative degree prior
+        (:func:`edge_inclusion_prior`).
+        """
         if not (self.graph.has_node(event.u) and self.graph.has_node(event.v)):
             return
-        stale = edge_inclusion_prior(self.graph.degree(event.u),
+        prior = edge_inclusion_prior(self.graph.degree(event.u),
                                      self.graph.degree(event.v))
+        cu = cv = None
+        if self.graph.is_unit_weighted:
+            cu, cv = self._compact_endpoints(event.u, event.v)
         for roots, pool in self._pools.items():
+            stale = prior
+            if cu is not None:
+                stale = self._balance_decay(roots, pool, cu, cv, prior)
             self.stats.forests_reweighted += pool.apply_addition(stale)
             self.stats.forests_dropped += pool.take_dead_drops()
             if pool.size == 0:
                 self._paths.pop(roots, None)
                 self._jl.pop(roots, None)
+
+    def _balance_decay(self, roots: Tuple[int, ...],
+                       pool: WeightedForestPool, cu: int, cv: int,
+                       prior: float) -> float:
+        """Balance-heuristic decay for one pool, or ``prior`` when unpriceable.
+
+        One projected-estimator fold with the single probe row
+        ``e_u - e_v`` prices the inserted unit edge's grounded effective
+        resistance from the pooled draws (self-normalised over the
+        importance weights); see :meth:`_decay_pools` for the algebra.
+        """
+        if pool.size == 0:
+            return prior
+        path = self._paths.get(roots)
+        if path is None or pool.n != path.n or max(cu, cv) >= path.n:
+            return prior
+        probe = np.zeros((1, path.n))
+        probe[0, cu] = 1.0
+        probe[0, cv] = -1.0
+        projected = batched_projected_estimates(pool.batch(), path, probe)
+        samples = projected[:, 0, cu] - projected[:, 0, cv]
+        weights = pool.weights()
+        total = float(weights.sum())
+        if not np.isfinite(total) or total <= 0.0:
+            return prior
+        resistance = float(weights @ samples) / total
+        if not np.isfinite(resistance) or resistance <= 0.0:
+            return prior
+        # Unit insertion: p = R' = R / (1 + R), capped away from certainty.
+        stale = resistance / (1.0 + resistance)
+        return min(stale, 0.95)
 
     def _invalidate_pools(self, event) -> None:
         """Drop exactly the forests whose parent pointers use a deleted edge."""

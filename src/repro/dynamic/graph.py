@@ -214,6 +214,10 @@ class DynamicGraph:
         """Current (unweighted) degree of ``node``."""
         return len(self._adjacency[self._check_active(node)])
 
+    def neighbors(self, node: int) -> List[int]:
+        """Sorted current neighbours of ``node`` (by stable id)."""
+        return sorted(self._adjacency[self._check_active(node)])
+
     def validate_group(self, group: Iterable[int]) -> Tuple[int, ...]:
         """Validate a node group against the *active* node set; returns it sorted.
 

@@ -74,6 +74,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="resistance backend of the dynamic/serve "
                              "studies: dense explicit-inverse Woodbury, "
                              "sparse solver-backed, or auto by graph size")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="dynamic: with N > 1 the engine pass runs the "
+                             "sharded distributed backend (per-shard trackers "
+                             "stitched by a global Schur complement)")
     parser.add_argument("--smoke", action="store_true",
                         help="serve: shrink the workload and gate on async/sync "
                              "equivalence; worlds: run the canonical CI cross "
@@ -136,7 +140,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         run_dynamic(k=k, eps=args.eps, max_samples=args.max_samples,
                     seed=args.seed, scale=args.scale, quick=args.quick,
                     batch=args.batch, node_churn=args.node_churn,
-                    backend=args.backend,
+                    backend=args.backend, shards=args.shards,
                     output_json=args.output_json,
                     metrics_prefix=args.metrics_prefix)
     if name == "serve":

@@ -45,7 +45,7 @@ def run_dynamic(k: int = 5, eps: float = 0.3, max_samples: int = 48,
                 ratios: Sequence[Tuple[int, int]] = ((8, 1), (2, 1), (1, 1), (1, 4)),
                 rounds: int = 4, method: str = "exact",
                 batch: int = 1, node_churn: float = 0.0,
-                backend: str = "dense",
+                backend: str = "dense", shards: int = 1,
                 verbose: bool = True, quick: bool = False,
                 output_json: Optional[str] = None,
                 metrics_prefix: Optional[str] = None) -> List[Dict[str, object]]:
@@ -69,6 +69,13 @@ def run_dynamic(k: int = 5, eps: float = 0.3, max_samples: int = 48,
         Resistance backend of the engine pass (``"dense"``, ``"sparse"`` or
         ``"auto"``); recorded on every row so the perf trajectory
         distinguishes the engines.
+    shards:
+        With ``shards > 1`` the engine pass runs through
+        :class:`repro.distributed.ShardedCFCM` (one tracker per shard,
+        queries stitched by the global Schur complement) instead of the
+        single-tracker :class:`DynamicCFCM`; the scratch pass is unchanged,
+        so the speedup column compares the sharded engine against the same
+        from-scratch baseline.
     metrics_prefix:
         When given, the run records onto :data:`repro.obs.REGISTRY` and the
         registry is written as ``<prefix>.prom``/``<prefix>.json`` at the
@@ -96,7 +103,14 @@ def run_dynamic(k: int = 5, eps: float = 0.3, max_samples: int = 48,
         # selection queries go through the version-aware cache.
         rng = np.random.default_rng(seed)
         graph = DynamicGraph(base)
-        engine = DynamicCFCM(graph, seed=seed, config=config, backend=backend)
+        if shards > 1:
+            from repro.distributed import ShardedCFCM
+
+            engine = ShardedCFCM(graph, shards=shards, seed=seed,
+                                 config=config, backend=backend)
+        else:
+            engine = DynamicCFCM(graph, seed=seed, config=config,
+                                 backend=backend)
         start = clock()
         group = engine.query(k, method=method, eps=eps).group
         for _ in range(rounds):
@@ -142,6 +156,7 @@ def run_dynamic(k: int = 5, eps: float = 0.3, max_samples: int = 48,
             "batch": batch,
             "node_churn": node_churn,
             "backend": backend,
+            "shards": shards,
             "engine_seconds": engine_seconds,
             "scratch_seconds": scratch_seconds,
             "speedup": scratch_seconds / engine_seconds if engine_seconds else None,

@@ -188,6 +188,47 @@ class ResistanceBackend:
         """``Tr(inv(M))`` under the same ``mode`` semantics as ``diagonal``."""
         return float(self.diagonal(mode=mode).sum())
 
+    def correction_columns(self, count: int
+                           ) -> Optional[Tuple[np.ndarray, np.ndarray,
+                                               np.ndarray, np.ndarray]]:
+        """Corrected solves of the trailing ``count`` update columns, if free.
+
+        The sparse backend already holds ``M₀⁻¹ B`` for every event column
+        folded since the last factorisation, so ``inv(M) B`` for the most
+        recent ``count`` columns costs only a correction re-apply — no new
+        solves.  Consumers that need exactly those solves (the sharded
+        engine's Schur stitch re-derives the pre-burst inverse from them)
+        ask here first and fall back to :meth:`solve_many`.
+
+        Returns ``(rows_i, rows_j, deltas, corrected)`` where row pairs and
+        deltas identify the columns (``rows_j == -1`` marks a grounded
+        endpoint) and ``corrected`` is the ``(n, count)`` solve block, or
+        ``None`` when the backend cannot serve them for free (default).
+        """
+        return None
+
+    #: Probe columns served by :meth:`probe_block`.
+    probe_count = 24
+
+    def probe_block(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Deterministic Rademacher probes ``Z`` and their solves ``inv(M) Z``.
+
+        Shared by Hutchinson-style consumers (trace sketches, the sharded
+        engine's coupling estimates) so they agree on one probe stream and
+        one cached solve block per epoch.  The generic implementation pays
+        ``probe_count`` solves on first use per epoch; backends holding a
+        cheaper path (cached base solves plus a correction) override it.
+        """
+        cached = getattr(self, "_probe_cache", None)
+        if cached is not None and cached[0] == self._epoch \
+                and cached[1].shape[0] == self._n:
+            return cached[1], cached[2]
+        rng = np.random.default_rng(9176 + self._n)
+        z = np.where(rng.random((self._n, self.probe_count)) < 0.5, -1.0, 1.0)
+        y = self.solve_many(z)
+        self._probe_cache = (self._epoch, z, y)
+        return z, y
+
     # ------------------------------------------------------------- mutations
     def apply_triples(self, triples: Sequence[Triple]) -> None:
         """Fold a burst of edge events ``M += Σ δ_k b_k b_kᵀ`` in.
@@ -350,8 +391,10 @@ class SparseResistanceBackend(ResistanceBackend):
         self._lu = None
         self._cg: Optional[LaplacianSolver] = None
         self._reset_lowrank()
+        self.probe_count = int(probes)
         self._probe_z: Optional[np.ndarray] = None
         self._probe_base: Optional[np.ndarray] = None
+        self._probe_corrected: Optional[Tuple[int, np.ndarray]] = None
         self._diag_cache: Optional[Tuple[int, str, np.ndarray]] = None
 
     # ------------------------------------------------------------- lifecycle
@@ -406,6 +449,7 @@ class SparseResistanceBackend(ResistanceBackend):
         self._reset_lowrank()
         self._probe_z = None
         self._probe_base = None
+        self._probe_corrected = None
 
     def _invalidate(self) -> None:
         super()._invalidate()
@@ -489,14 +533,31 @@ class SparseResistanceBackend(ResistanceBackend):
         per factorisation; each mutation epoch only re-applies the rank-``t``
         correction to the cached block — O(t·p + t²) instead of p solves.
         """
+        z, solved = self.probe_block()
+        return np.mean(z * solved, axis=1)
+
+    def probe_block(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Probes fixed per factorisation; solves = cached base + correction."""
         if self._probe_z is None or self._probe_z.shape[0] != self._n:
             rng = np.random.default_rng(self.seed + 7919 * self._factor_count)
             self._probe_z = np.where(
                 rng.random((self._n, self.probes)) < 0.5, -1.0, 1.0
             )
             self._probe_base = self._base_solve_many(self._probe_z)
-        solved = self._correct(self._probe_base)
-        return np.mean(self._probe_z * solved, axis=1)
+            self._probe_corrected = None
+        if self._probe_corrected is None or self._probe_corrected[0] != self._epoch:
+            self._probe_corrected = (self._epoch, self._correct(self._probe_base))
+        return self._probe_z, self._probe_corrected[1]
+
+    def correction_columns(self, count: int
+                           ) -> Optional[Tuple[np.ndarray, np.ndarray,
+                                               np.ndarray, np.ndarray]]:
+        count = int(count)
+        if count < 1 or count > self._deltas.size:
+            return None
+        corrected = self._correct(self._left[:, -count:])
+        return (self._rows_i[-count:].copy(), self._rows_j[-count:].copy(),
+                self._deltas[-count:].copy(), corrected)
 
     # ------------------------------------------------------------- mutations
     def apply_triples(self, triples: Sequence[Triple]) -> None:

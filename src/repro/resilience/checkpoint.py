@@ -159,6 +159,7 @@ def checkpoint_engine(engine, path: str) -> str:
         "engine": {
             "pool_size": int(engine.pool_size),
             "ess_floor": float(engine.ess_floor),
+            "adaptive_ess_floor": bool(engine.adaptive_ess_floor),
             "refresh_interval": int(engine.refresh_interval),
             "cache_capacity": int(engine.cache_capacity),
             "backend": engine.backend,
@@ -178,6 +179,9 @@ def checkpoint_engine(engine, path: str) -> str:
             "key": [int(r) for r in roots],
             "capacity": int(pool.capacity),
             "ess_floor": float(pool.ess_floor),
+            "adaptive_floor": bool(pool.adaptive_floor),
+            "churn_accum": float(pool._churn_accum),
+            "churn_pressure": float(pool._churn_pressure),
             "dead_drops": int(pool._dead_drops),
             "size": int(pool.size),
             "has_path": roots in engine._paths,
@@ -300,6 +304,7 @@ def restore_engine(path: str):
             backend_options=spec["backend_options"],
             watchdog_interval=spec.get("watchdog_interval", 0),
             drift_threshold=spec.get("drift_threshold", 1e-6),
+            adaptive_ess_floor=spec.get("adaptive_ess_floor", False),
         )
         engine.rng = np.random.default_rng(0)
         engine.rng.bit_generator.state = spec["rng_state"]
@@ -312,7 +317,10 @@ def restore_engine(path: str):
             pool = WeightedForestPool(
                 data[f"pool{i}_roots"], capacity=entry["capacity"],
                 ess_floor=entry["ess_floor"],
+                adaptive_floor=bool(entry.get("adaptive_floor", False)),
             )
+            pool._churn_accum = float(entry.get("churn_accum", 0.0))
+            pool._churn_pressure = float(entry.get("churn_pressure", 0.0))
             pool._dead_drops = int(entry["dead_drops"])
             if entry["size"]:
                 parent = np.asarray(data[f"pool{i}_parent"], dtype=np.int64)

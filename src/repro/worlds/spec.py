@@ -122,7 +122,7 @@ TRAFFIC_MIXES: Dict[str, Tuple[int, int]] = {
 }
 
 BACKENDS: Tuple[str, ...] = ("dense", "sparse", "auto")
-MODES: Tuple[str, ...] = ("engine", "service")
+MODES: Tuple[str, ...] = ("engine", "service", "sharded")
 
 
 @dataclass(frozen=True)
@@ -258,8 +258,11 @@ class WorldSpec:
     selects the execution front end: ``"engine"`` drives a synchronous
     :class:`repro.dynamic.DynamicCFCM` directly, ``"service"`` runs the same
     world through :class:`repro.service.AsyncCFCMService` (single writer,
-    concurrent reads).  ``seed`` pins graph construction, churn draws and
-    estimator sampling, so a spec is a complete reproduction recipe.
+    concurrent reads), and ``"sharded"`` drives a
+    :class:`repro.distributed.ShardedCFCM` split into ``shards`` parts (the
+    ``shards`` axis is ignored by the other modes).  ``seed`` pins graph
+    construction, churn draws and estimator sampling, so a spec is a
+    complete reproduction recipe.
     """
 
     topology: str = "power_law"
@@ -270,6 +273,7 @@ class WorldSpec:
     backend: str = "dense"
     estimator: EstimatorSpec = field(default_factory=EstimatorSpec)
     mode: str = "engine"
+    shards: int = 2
     faults: FaultSpec = field(default_factory=FaultSpec)
     seed: int = 0
 
@@ -288,6 +292,12 @@ class WorldSpec:
             raise InvalidParameterError(
                 f"unknown mode {self.mode!r} (expected one of {MODES})"
             )
+        check_integer("shards", self.shards, minimum=1)
+        if self.mode == "sharded" and self.faults.active:
+            raise InvalidParameterError(
+                "sharded worlds do not support fault regimes yet (the "
+                "distributed engine has no chaos seams)"
+            )
         self.churn.validate()
         self.traffic.validate()
         self.estimator.validate()
@@ -301,10 +311,14 @@ class WorldSpec:
 
         Fault-free worlds keep the historical six-axis name, so every
         pre-chaos artifact and doc reference stays valid; faulted worlds
-        append ``-f<regime>``.
+        append ``-f<regime>``.  Sharded worlds fold the shard count into the
+        mode segment (``sharded3``) so specs differing only in shards do not
+        collide.
         """
+        mode = (f"{self.mode}{self.shards}" if self.mode == "sharded"
+                else self.mode)
         base = (f"{self.topology}-n{self.n}-{self.churn.regime}"
-                f"-{self.traffic.mix}-{self.backend}-{self.mode}-s{self.seed}")
+                f"-{self.traffic.mix}-{self.backend}-{mode}-s{self.seed}")
         if self.faults.active:
             return f"{base}-f{self.faults.regime}"
         return base

@@ -1,9 +1,11 @@
 """Scenario-sweep runner: execute worlds, record accuracy/latency/ESS rows.
 
 :func:`run_world` executes one :class:`repro.worlds.WorldSpec` against the
-serving stack — a synchronous :class:`repro.dynamic.DynamicCFCM` or, in
-``mode="service"``, the same engine behind
-:class:`repro.service.AsyncCFCMService` — and returns one flat result row.
+serving stack — a synchronous :class:`repro.dynamic.DynamicCFCM`, in
+``mode="service"`` the same engine behind
+:class:`repro.service.AsyncCFCMService`, or in ``mode="sharded"`` the
+partitioned :class:`repro.distributed.ShardedCFCM` — and returns one flat
+result row.
 
 Measurement discipline (enforced by ``scripts/check_no_adhoc_timing.py``):
 the sweep grows **no timing code of its own**.  Latency percentiles are read
@@ -265,6 +267,17 @@ def run_world(spec: WorldSpec, verbose: bool = False) -> Dict[str, object]:
                 events = asyncio.run(_drive_service(
                     spec, service, driver, monitor, rng,
                     failures if faulted else None))
+        elif spec.mode == "sharded":
+            from repro.distributed import ShardedCFCM
+
+            # spec.validate() rejects sharded+faults, so no injector here.
+            engine = ShardedCFCM(
+                graph, shards=spec.shards, seed=spec.seed, config=config,
+                pool_size=spec.estimator.pool_size,
+                ess_floor=spec.estimator.ess_floor, backend=spec.backend,
+            )
+            unbind = obs.bind_engine_health(engine)
+            events = _drive_engine(spec, engine, driver, monitor, rng, None)
         else:
             engine = DynamicCFCM(
                 graph, seed=spec.seed, config=config,
@@ -293,6 +306,7 @@ def run_world(spec: WorldSpec, verbose: bool = False) -> Dict[str, object]:
             "traffic": spec.traffic.mix,
             "backend": spec.backend,
             "mode": spec.mode,
+            "shards": spec.shards if spec.mode == "sharded" else None,
             "seed": spec.seed,
             "faults": spec.faults.regime,
             "faults_injected": (injector.total_injected
@@ -335,6 +349,8 @@ def run_world(spec: WorldSpec, verbose: bool = False) -> Dict[str, object]:
         })
         row["wall_seconds"] = clock() - started
         unbind()
+        if spec.mode == "sharded":
+            engine.close()
     finally:
         if not was_enabled:
             obs.REGISTRY.disable()
@@ -404,14 +420,16 @@ def gate_rows(rows: Sequence[Dict[str, object]]) -> List[str]:
 
 
 def smoke_specs() -> List[WorldSpec]:
-    """The canonical CI smoke cross: 7 worlds over topology x churn x backend.
+    """The canonical CI smoke cross: 8 worlds over topology x churn x backend.
 
     Shared by ``python -m repro.experiments worlds --smoke`` and
     ``benchmarks/bench_worlds.py`` so the gated configuration is defined in
     exactly one place.  The cross touches every churn regime, both concrete
-    backends, both execution modes and the popping-hostile ring family
-    (which keeps the lockstep kernel's scalar-finish path under regression).
-    Sizes are small (60–96 nodes) so the whole sweep stays CI-cheap.
+    backends, all three execution modes (including a sharded world so the
+    distributed Schur-stitch path runs on every commit) and the
+    popping-hostile ring family (which keeps the lockstep kernel's
+    scalar-finish path under regression).  Sizes are small (48–96 nodes) so
+    the whole sweep stays CI-cheap.
     """
     from repro.worlds.spec import ChurnSpec, EstimatorSpec, TrafficSpec
 
@@ -448,6 +466,14 @@ def smoke_specs() -> List[WorldSpec]:
                   churn=ChurnSpec(regime="none", events=0),
                   traffic=TrafficSpec(mix="read_heavy"),
                   backend="auto", estimator=estimator, seed=17),
+        # Sharded world: bursty joins force structural re-partitions while
+        # keeping weights at unity, so the merged-ESS forest path, the Schur
+        # stitch and the rebuild path all run under the smoke gates.
+        WorldSpec(topology="lattice", n=64,
+                  churn=ChurnSpec(regime="bursty_joins", events=12),
+                  traffic=TrafficSpec(mix="mixed"),
+                  backend="sparse", estimator=estimator, mode="sharded",
+                  shards=3, seed=18),
     ]
 
 
@@ -459,18 +485,20 @@ def faulted_smoke_specs() -> List[WorldSpec]:
     injected failures).  Regimes are matched to what each world can
     exercise: ``numerical_drift`` needs a dense tracked inverse to corrupt,
     ``worker_crash`` needs the service front end, and ``solver_flaky`` /
-    ``chaos`` bite everywhere.  Gated by
-    ``python -m repro.experiments worlds --smoke --faults``.
+    ``chaos`` bite everywhere.  Sharded worlds are skipped — the distributed
+    engine has no chaos seams yet and its specs reject fault regimes.  Gated
+    by ``python -m repro.experiments worlds --smoke --faults``.
     """
     regimes = ("solver_flaky", "numerical_drift", "solver_flaky",
                "numerical_drift", "solver_flaky", "worker_crash", "chaos")
+    faultable = [spec for spec in smoke_specs() if spec.mode != "sharded"]
     return [
         # Drift worlds roll only on tracker syncs (far fewer draws than the
         # solver seams see), so they get a higher per-call rate to guarantee
         # the corruption/watchdog-heal path actually runs in CI.
         dataclasses.replace(spec, faults=FaultSpec(
             regime=regime, rate=0.75 if regime == "numerical_drift" else 0.25))
-        for spec, regime in zip(smoke_specs(), regimes)
+        for spec, regime in zip(faultable, regimes)
     ]
 
 
@@ -478,7 +506,7 @@ def faulted_smoke_specs() -> List[WorldSpec]:
 #: column order of the CSV artifact (subset of the row schema, flat scalars).
 CSV_COLUMNS: Tuple[str, ...] = (
     "world", "topology", "n", "m", "churn", "traffic", "backend", "mode",
-    "seed", "faults", "faults_injected", "typed_failures",
+    "shards", "seed", "faults", "faults_injected", "typed_failures",
     "events_applied", "exact_rel_error", "forest_rel_error",
     "p50_exact_ms", "p95_exact_ms", "p99_exact_ms",
     "p50_forest_ms", "p95_forest_ms", "p99_forest_ms",

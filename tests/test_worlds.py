@@ -72,6 +72,23 @@ class TestWorldSpec:
         assert first.n == second.n
         assert list(first.edges()) == list(second.edges())
 
+    def test_sharded_axis_round_trips_and_names(self):
+        spec = make_spec(mode="sharded", shards=3)
+        clone = WorldSpec.from_json(spec.to_json())
+        assert clone == spec
+        assert "sharded3" in spec.name
+        # Non-sharded names keep their historical shape.
+        assert "shard" not in make_spec().name
+
+    def test_sharded_validation(self):
+        from repro.worlds.spec import FaultSpec
+
+        with pytest.raises(InvalidParameterError):
+            make_spec(mode="sharded", shards=0).validate()
+        with pytest.raises(InvalidParameterError):
+            make_spec(mode="sharded",
+                      faults=FaultSpec(regime="chaos")).validate()
+
 
 class TestWorldSampler:
     def test_fixed_seed_replays_identically(self):
@@ -144,6 +161,17 @@ class TestRunWorld:
             assert row[field] == pytest.approx(123.0)
 
     @pytest.mark.slow
+    def test_sharded_world_matches_reference(self):
+        row = run_world(make_spec(
+            topology="lattice", n=36, mode="sharded", shards=3,
+            churn=ChurnSpec(regime="reweight_storm", events=6,
+                            intensity=1.5), seed=21,
+        ))
+        assert row["accuracy_ok"] and row["ess_ok"]
+        assert row["shards"] == 3
+        assert row["events_applied"] > 0
+
+    @pytest.mark.slow
     def test_reweight_storm_restores_unit_weights(self):
         row = run_world(make_spec(
             topology="expander",
@@ -185,6 +213,7 @@ class TestSweepGates:
         assert len({spec.churn.regime for spec in specs}) >= 4
         assert len({spec.backend for spec in specs}) >= 2
         assert any(spec.mode == "service" for spec in specs)
+        assert any(spec.mode == "sharded" for spec in specs)
         for spec in specs:
             spec.validate()
 
